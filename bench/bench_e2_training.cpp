@@ -1,0 +1,38 @@
+// E2 — §IV-D training-phase evaluation.
+//
+// Paper: "all models have attained values across these evaluation metrics,
+// with a small amount of false positives and false negatives" (no table is
+// given). We report accuracy / precision / recall / F1 on a stratified
+// 80/20 split of the training capture, plus fit time and model file size.
+#include "bench/bench_common.hpp"
+
+using namespace ddoshield;
+
+int main() {
+  bench::banner("E2", "training-phase metrics (paper §IV-D)");
+  const core::GenerationResult generation = bench::canonical_generation();
+  const core::TrainedModels models = bench::canonical_training(generation);
+
+  std::printf("\n%-8s %9s %9s %9s %9s %9s %12s %8s\n", "model", "acc", "prec", "rec",
+              "f1", "train-acc", "size (KB)", "fit (s)");
+  for (const char* name : bench::kModelNames) {
+    const core::ModelReport& r = models.report_of(name);
+    std::printf("%-8s %9.4f %9.4f %9.4f %9.4f %9.4f %12.1f %8.2f\n", name,
+                r.test.accuracy(), r.test.precision(), r.test.recall(), r.test.f1(),
+                r.train.accuracy(),
+                static_cast<double>(r.model_file_bytes) / 1024.0, r.fit_seconds);
+  }
+
+  std::printf("\nconfusion matrices (test split):\n");
+  for (const char* name : bench::kModelNames) {
+    std::printf("  %-8s %s\n", name, models.report_of(name).test.to_string().c_str());
+  }
+
+  bool all_high = true;
+  for (const char* name : bench::kModelNames) {
+    all_high = all_high && models.report_of(name).test.accuracy() > 0.80;
+  }
+  std::printf("\nshape check: all models attain high training-phase metrics: %s\n",
+              all_high ? "PASS" : "CHECK");
+  return 0;
+}

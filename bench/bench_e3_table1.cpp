@@ -1,0 +1,44 @@
+// E3 — Table I: real-time detection average accuracy.
+//
+//   Paper:  RF 61.22 %   K-Means 94.82 %   CNN 95.47 %
+//
+// The clean-room pipeline reproduces the K-Means and CNN rows closely.
+// The paper's RF row is only reachable through train/serve skew in the
+// published artifact's split per-model tooling (see EXPERIMENTS.md E3 and
+// the E8 ablation); we report our clean measurement and the skew-served
+// value side by side rather than hiding the divergence.
+#include "bench/bench_common.hpp"
+
+using namespace ddoshield;
+
+int main() {
+  bench::banner("E3", "Table I — real-time detection accuracy");
+  const core::GenerationResult generation = bench::canonical_generation();
+  const core::TrainedModels models = bench::canonical_training(generation);
+
+  const core::Scenario det = core::detection_scenario(/*seed=*/2);
+  std::printf("[setup] real-time run: %.0f s simulated, 1 s windows, bursty attacks\n\n",
+              det.duration.to_seconds());
+
+  const double paper[] = {61.22, 94.82, 95.47};
+  std::printf("%-8s %12s %14s %16s %10s\n", "model", "paper (%)", "measured (%)",
+              "skew-served (%)", "windows");
+  for (std::size_t i = 0; i < 3; ++i) {
+    const char* name = bench::kModelNames[i];
+    const core::DetectionResult clean = core::run_detection(det, models.get(name));
+    const core::SkewServedClassifier skewed{models.get(name)};
+    const core::DetectionResult skew = core::run_detection(det, skewed);
+    std::printf("%-8s %12.2f %14.2f %16.2f %10llu\n", name, paper[i],
+                100.0 * clean.summary.average_accuracy,
+                100.0 * skew.summary.average_accuracy,
+                static_cast<unsigned long long>(clean.summary.windows));
+  }
+
+  std::printf(
+      "\nshape notes:\n"
+      "  * K-Means and CNN match the paper's ~95%% real-time accuracy.\n"
+      "  * RF does NOT collapse in a consistent train/serve pipeline; the\n"
+      "    paper's 61.22%% is attributable to pipeline skew in the published\n"
+      "    artifact (see EXPERIMENTS.md E3 and the E8 skew ablation).\n");
+  return 0;
+}

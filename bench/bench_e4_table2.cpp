@@ -1,0 +1,60 @@
+// E4 — Table II: ML model sustainability during real-time detection.
+//
+//   Paper:            CPU (%)   Memory (Kb)   Model Size (Kb)
+//     RF               65.46        98.07          712.30
+//     K-Means          67.88        86.83           11.20
+//     CNN              65.94       275.85          736.30
+//
+// CPU and memory are genuinely measured around the executed detection
+// computation and normalised with the documented calibration constants
+// (DESIGN.md §2); model size is the exact serialized model file size.
+// The contract is the shape: CPU roughly equal across models (dominated
+// by statistical-feature computation), CNN the largest memory, K-Means
+// the lightest model by orders of magnitude.
+#include "bench/bench_common.hpp"
+
+using namespace ddoshield;
+
+int main() {
+  bench::banner("E4", "Table II — ML model sustainability");
+  const core::GenerationResult generation = bench::canonical_generation();
+  const core::TrainedModels models = bench::canonical_training(generation);
+  const core::Scenario det = core::detection_scenario(/*seed=*/2);
+
+  struct PaperRow {
+    double cpu, mem_kb, size_kb;
+  };
+  const PaperRow paper[] = {{65.46, 98.07, 712.30}, {67.88, 86.83, 11.20},
+                            {65.94, 275.85, 736.30}};
+
+  std::printf("\n%-8s | %9s %9s | %11s %11s | %11s %11s\n", "model", "cpu% (p)",
+              "cpu% (m)", "mem KB (p)", "mem KB (m)", "size KB (p)", "size KB (m)");
+  double cpu_measured[3];
+  double mem_measured[3];
+  double size_measured[3];
+  for (std::size_t i = 0; i < 3; ++i) {
+    const char* name = bench::kModelNames[i];
+    const core::DetectionResult result = core::run_detection(det, models.get(name));
+    cpu_measured[i] = result.summary.cpu_percent;
+    mem_measured[i] = result.summary.memory_kb;
+    size_measured[i] = result.model_size_kb;
+    std::printf("%-8s | %9.2f %9.2f | %11.2f %11.2f | %11.2f %11.2f\n", name,
+                paper[i].cpu, cpu_measured[i], paper[i].mem_kb, mem_measured[i],
+                paper[i].size_kb, size_measured[i]);
+  }
+
+  const bool cpu_flat = cpu_measured[0] > 30 && cpu_measured[1] > 30 &&
+                        cpu_measured[2] > 30;
+  const bool cnn_mem_largest =
+      mem_measured[2] > mem_measured[0] && mem_measured[2] > mem_measured[1];
+  const bool kmeans_tiny = size_measured[1] * 10 < size_measured[0] &&
+                           size_measured[1] * 10 < size_measured[2];
+  std::printf("\nshape checks:\n");
+  std::printf("  CPU elevated for all models (feature computation): %s\n",
+              cpu_flat ? "PASS" : "CHECK");
+  std::printf("  CNN has the largest detection memory:              %s\n",
+              cnn_mem_largest ? "PASS" : "CHECK");
+  std::printf("  K-Means model is orders of magnitude smaller:      %s\n",
+              kmeans_tiny ? "PASS" : "CHECK");
+  return 0;
+}

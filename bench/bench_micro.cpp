@@ -1,0 +1,214 @@
+// Micro-benchmarks (google-benchmark): throughput of the hot paths —
+// the event engine, TCP transfers, flood generation, feature extraction,
+// and per-model inference latency. These are the budgets behind the
+// end-to-end experiment wall times.
+#include <benchmark/benchmark.h>
+
+#include "botnet/floods.hpp"
+#include "capture/dataset.hpp"
+#include "features/extractor.hpp"
+#include "ml/cnn.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/random_forest.hpp"
+#include "net/network.hpp"
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ddoshield;
+using util::Rng;
+using util::SimTime;
+
+// --------------------------------------------------------------------------
+// Event engine
+// --------------------------------------------------------------------------
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    net::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule(SimTime::micros(i), [&fired] { ++fired; });
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Arg(10000)->Arg(100000);
+
+// --------------------------------------------------------------------------
+// UDP datapath
+// --------------------------------------------------------------------------
+
+void BM_UdpDatapath(benchmark::State& state) {
+  for (auto _ : state) {
+    net::Network net;
+    net::Node& a = net.add_node("a", net::Ipv4Address{10, 0, 0, 1});
+    net::Node& b = net.add_node("b", net::Ipv4Address{10, 0, 0, 2});
+    net.add_link(a, b, net::LinkConfig{.rate_bps = 1e9, .queue_bytes = 1 << 22});
+    a.set_default_route(0);
+    b.set_default_route(0);
+    auto server = b.udp().open(9);
+    server->set_receive_callback([](const net::Packet&) {});
+    auto client = a.udp().open();
+    for (int i = 0; i < 5000; ++i) {
+      client->send_to(net::Endpoint{b.address(), 9}, 64, net::TrafficOrigin::kHttp);
+    }
+    net.simulator().run_all();
+    benchmark::DoNotOptimize(b.stats().received_packets);
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_UdpDatapath);
+
+// --------------------------------------------------------------------------
+// TCP bulk transfer
+// --------------------------------------------------------------------------
+
+void BM_TcpBulkTransfer(benchmark::State& state) {
+  for (auto _ : state) {
+    net::Network net;
+    net::Node& c = net.add_node("c", net::Ipv4Address{10, 0, 0, 1});
+    net::Node& s = net.add_node("s", net::Ipv4Address{10, 0, 0, 2});
+    net.add_link(c, s,
+                 net::LinkConfig{.rate_bps = 1e9,
+                                 .delay = SimTime::micros(100),
+                                 .queue_bytes = 1 << 22});
+    c.set_default_route(0);
+    s.set_default_route(0);
+    auto listener = s.tcp().listen(80);
+    std::uint64_t got = 0;
+    listener->set_on_accept([&got](std::shared_ptr<net::TcpConnection> conn) {
+      conn->set_on_data([&got](std::uint32_t n, const std::string&) { got += n; });
+    });
+    auto conn = c.tcp().connect(net::Endpoint{s.address(), 80}, net::TrafficOrigin::kFtp);
+    conn->set_on_connected([&conn] { conn->send(4 * 1024 * 1024); });
+    net.simulator().run_until(SimTime::seconds(60));
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetBytesProcessed(state.iterations() * 4 * 1024 * 1024);
+}
+BENCHMARK(BM_TcpBulkTransfer);
+
+// --------------------------------------------------------------------------
+// Flood generation
+// --------------------------------------------------------------------------
+
+void BM_FloodEmission(benchmark::State& state) {
+  for (auto _ : state) {
+    net::Network net;
+    net::Node& bot = net.add_node("bot", net::Ipv4Address{10, 0, 0, 1});
+    net::Node& victim = net.add_node("v", net::Ipv4Address{10, 0, 0, 2});
+    net.add_link(bot, victim, net::LinkConfig{.rate_bps = 1e9, .queue_bytes = 1 << 22});
+    bot.set_default_route(0);
+    victim.set_default_route(0);
+    botnet::FloodEngine engine{bot, Rng{1}};
+    botnet::FloodConfig cfg;
+    cfg.type = botnet::AttackType::kSynFlood;
+    cfg.target = victim.address();
+    cfg.packets_per_second = 100000;
+    cfg.duration = SimTime::millis(200);
+    engine.start(cfg);
+    net.simulator().run_until(SimTime::seconds(1));
+    benchmark::DoNotOptimize(engine.packets_emitted());
+  }
+}
+BENCHMARK(BM_FloodEmission);
+
+// --------------------------------------------------------------------------
+// Feature extraction
+// --------------------------------------------------------------------------
+
+capture::Dataset synthetic_dataset(std::size_t packets) {
+  capture::Dataset ds;
+  Rng rng{3};
+  for (std::size_t i = 0; i < packets; ++i) {
+    capture::PacketRecord r;
+    r.timestamp = SimTime::micros(static_cast<std::int64_t>(i) * 500);
+    r.src_addr = static_cast<std::uint32_t>(rng.next_u64());
+    r.dst_addr = 42;
+    r.src_port = static_cast<std::uint16_t>(1024 + rng.uniform_u64(64000));
+    r.dst_port = rng.bernoulli(0.5) ? 80 : 9000;
+    r.protocol = rng.bernoulli(0.8) ? 6 : 17;
+    r.tcp_flags = rng.bernoulli(0.2) ? net::TcpFlags::kSyn : net::TcpFlags::kAck;
+    r.seq = static_cast<std::uint32_t>(rng.next_u64());
+    r.payload_bytes = static_cast<std::uint32_t>(rng.uniform_u64(1400));
+    r.wire_bytes = r.payload_bytes + 40;
+    r.origin = rng.bernoulli(0.5) ? net::TrafficOrigin::kHttp
+                                  : net::TrafficOrigin::kMiraiSynFlood;
+    r.label = net::traffic_class_of(r.origin);
+    ds.add(r);
+  }
+  return ds;
+}
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const capture::Dataset ds = synthetic_dataset(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const features::FeatureMatrix fm = features::extract_features(ds);
+    benchmark::DoNotOptimize(fm.rows.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(10000)->Arg(100000);
+
+// --------------------------------------------------------------------------
+// Model inference latency
+// --------------------------------------------------------------------------
+
+struct TrainedFixture {
+  ml::DesignMatrix x{features::kFeatureCount};
+  std::vector<int> y;
+  ml::RandomForest rf;
+  ml::KMeansDetector km;
+  ml::Cnn1D cnn{ml::CnnConfig{.epochs = 1, .max_training_rows = 4000}};
+
+  TrainedFixture() {
+    const capture::Dataset ds = synthetic_dataset(8000);
+    const features::FeatureMatrix fm = features::extract_features(ds);
+    for (const auto& row : fm.rows) x.add_row(row);
+    y = fm.labels;
+    rf.fit(x, y);
+    km.fit(x, y);
+    cnn.fit(x, y);
+  }
+
+  static TrainedFixture& instance() {
+    static TrainedFixture f;
+    return f;
+  }
+};
+
+template <typename GetModel>
+void inference_bench(benchmark::State& state, GetModel get) {
+  auto& f = TrainedFixture::instance();
+  const ml::Classifier& model = get(f);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const int pred = model.predict(f.x.row(i % f.x.rows()));
+    benchmark::DoNotOptimize(pred);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_InferenceRandomForest(benchmark::State& state) {
+  inference_bench(state, [](TrainedFixture& f) -> const ml::Classifier& { return f.rf; });
+}
+void BM_InferenceKMeans(benchmark::State& state) {
+  inference_bench(state, [](TrainedFixture& f) -> const ml::Classifier& { return f.km; });
+}
+void BM_InferenceCnn(benchmark::State& state) {
+  inference_bench(state, [](TrainedFixture& f) -> const ml::Classifier& { return f.cnn; });
+}
+BENCHMARK(BM_InferenceRandomForest);
+BENCHMARK(BM_InferenceKMeans);
+BENCHMARK(BM_InferenceCnn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

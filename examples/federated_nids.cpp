@@ -1,0 +1,105 @@
+// Federated NIDS (§VI future work): the paper's stated next objective is
+// "to enhance DDoShield-IoT to emulate a FL-based Network Intrusion
+// Detection System". This example does exactly that on the testbed:
+//
+//   1. Generate a labelled capture.
+//   2. Shard it across the devices — each device only ever sees the
+//      traffic it participated in (its private local view).
+//   3. Train the shared CNN with FedAvg: local epochs on-device, only
+//      parameter vectors travel to the aggregator.
+//   4. Deploy the federated global model in the real-time IDS and compare
+//      it against the centrally-trained CNN on the same run.
+//
+// Build & run:  ./build/examples/federated_nids
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "ml/federated.hpp"
+#include "util/logging.hpp"
+
+using namespace ddoshield;
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  util::Logger::instance().set_level(util::LogLevel::kWarn);
+
+  // --- 1. capture -------------------------------------------------------------
+  const core::Scenario gen = core::training_scenario(/*seed=*/1);
+  std::printf("generating training capture (%.0f s simulated)...\n",
+              gen.duration.to_seconds());
+  const core::GenerationResult generation = core::run_generation(gen);
+
+  features::AggregatorConfig agg_cfg;
+  const features::FeatureMatrix fm = features::extract_features(generation.dataset, agg_cfg);
+  ml::DesignMatrix x;
+  std::vector<int> y;
+  core::to_design_matrix(fm, x, y);
+
+  // --- 2. per-device shards ---------------------------------------------------
+  // A device's local view: every captured packet it sent or received.
+  // (Packets between the attacker and the server fall to shard 0, the
+  // gateway's view.)
+  const std::size_t clients = gen.device_count;
+  std::vector<ml::DesignMatrix> xs(clients, ml::DesignMatrix{features::kFeatureCount});
+  std::vector<std::vector<int>> ys(clients);
+  const auto& records = generation.dataset.records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    // Device addresses are 10.1.z.(10+k): recover k from either endpoint.
+    auto device_of = [&](std::uint32_t addr) -> long {
+      const std::uint32_t base = net::Ipv4Address{10, 1, 0, 10}.bits();
+      const long k = static_cast<long>(addr) - static_cast<long>(base);
+      return k >= 0 && k < static_cast<long>(clients) ? k : -1;
+    };
+    long dev = device_of(records[i].src_addr);
+    if (dev < 0) dev = device_of(records[i].dst_addr);
+    if (dev < 0) dev = 0;
+    xs[static_cast<std::size_t>(dev)].add_row(fm.rows[i]);
+    ys[static_cast<std::size_t>(dev)].push_back(fm.labels[i]);
+  }
+  std::vector<ml::FederatedShard> shards;
+  for (std::size_t c = 0; c < clients; ++c) {
+    if (!xs[c].empty()) shards.push_back({&xs[c], &ys[c]});
+    std::printf("  device %zu local shard: %zu packets\n", c, xs[c].rows());
+  }
+
+  // --- 3. FedAvg ---------------------------------------------------------------
+  ml::StandardScaler scaler;
+  scaler.fit(x);  // shared calibration artifact (agreed feature scaling)
+
+  ml::FederatedConfig fed_cfg;
+  fed_cfg.rounds = 5;
+  fed_cfg.local_epochs = 1;
+  fed_cfg.cnn.hidden = 256;  // edge-sized network
+  std::printf("\nFedAvg: %zu clients, %zu rounds x %zu local epoch(s)...\n",
+              shards.size(), fed_cfg.rounds, fed_cfg.local_epochs);
+  ml::FederatedCnnTrainer trainer{fed_cfg};
+  const ml::Cnn1D federated = trainer.train(shards, scaler);
+  for (const auto& round : trainer.round_stats()) {
+    std::printf("  round %zu: mean parameter delta %.6f\n", round.round + 1,
+                round.mean_parameter_delta);
+  }
+
+  // Centralised baseline: same architecture, same total epochs, all data.
+  ml::CnnConfig central_cfg = fed_cfg.cnn;
+  central_cfg.epochs = fed_cfg.rounds * fed_cfg.local_epochs;
+  ml::Cnn1D centralized{central_cfg};
+  std::printf("training centralized baseline...\n");
+  centralized.fit(x, y);
+
+  // --- 4. deploy both in the real-time IDS ------------------------------------
+  const core::Scenario det = core::detection_scenario(/*seed=*/2);
+  const core::DetectionResult fed_result = core::run_detection(det, federated);
+  const core::DetectionResult cen_result = core::run_detection(det, centralized);
+
+  std::printf("\nreal-time detection (%.0f s, 1 s windows):\n", det.duration.to_seconds());
+  std::printf("  federated CNN   : avg %.2f%%  min %.2f%%\n",
+              100.0 * fed_result.summary.average_accuracy,
+              100.0 * fed_result.summary.min_accuracy);
+  std::printf("  centralized CNN : avg %.2f%%  min %.2f%%\n",
+              100.0 * cen_result.summary.average_accuracy,
+              100.0 * cen_result.summary.min_accuracy);
+  std::printf("\nno raw packet ever left its device during federated training —\n"
+              "only %zu-parameter vectors travelled per round.\n",
+              federated.parameter_count());
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "apps/app.hpp"
+
+namespace ddoshield::apps {
+
+App::App(container::Container& owner, std::string name, util::Rng rng)
+    : owner_{owner}, name_{std::move(name)}, rng_{rng} {}
+
+void App::start() {
+  if (running_) return;
+  running_ = true;
+  owner_.on_stop([this] { stop(); });
+  on_start();
+}
+
+void App::stop() {
+  if (!running_) return;
+  running_ = false;
+  for (auto& t : timers_) t.cancel();
+  timers_.clear();
+  on_stop();
+}
+
+void App::schedule(util::SimTime delay, std::function<void()> fn) {
+  if (!running_) return;
+  prune_timers();
+  timers_.push_back(sim().schedule(delay, [this, fn = std::move(fn)] {
+    if (running_) fn();
+  }));
+}
+
+void App::prune_timers() {
+  if (timers_.size() < 64) return;
+  std::erase_if(timers_, [](const net::EventHandle& h) { return !h.pending(); });
+}
+
+}  // namespace ddoshield::apps

@@ -1,0 +1,186 @@
+#include "apps/ftp.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace ddoshield::apps {
+
+using net::Endpoint;
+using net::TcpCloseReason;
+using net::TcpConnection;
+using net::TcpState;
+using net::TrafficOrigin;
+using util::SimTime;
+
+// ---------------------------------------------------------------------------
+// FtpServer
+// ---------------------------------------------------------------------------
+
+FtpServer::FtpServer(container::Container& owner, util::Rng rng, FtpServerConfig config)
+    : App{owner, "ftp-server", rng}, config_{config} {}
+
+void FtpServer::on_start() {
+  control_listener_ =
+      node().tcp().listen(config_.control_port, config_.backlog, TrafficOrigin::kFtp);
+  control_listener_->set_on_accept(
+      [this](std::shared_ptr<TcpConnection> conn) { handle_control(std::move(conn)); });
+}
+
+void FtpServer::on_stop() {
+  if (control_listener_) control_listener_->close();
+  control_listener_.reset();
+}
+
+std::uint32_t FtpServer::draw_file_bytes() {
+  const double scale =
+      config_.mean_file_bytes * (config_.pareto_shape - 1.0) / config_.pareto_shape;
+  const double size = rng().pareto(scale, config_.pareto_shape);
+  return static_cast<std::uint32_t>(std::clamp(size, 1024.0, 16.0 * 1024 * 1024));
+}
+
+void FtpServer::handle_control(std::shared_ptr<TcpConnection> conn) {
+  conn->set_on_data([this, conn_weak = std::weak_ptr<TcpConnection>{conn}](
+                        std::uint32_t, const std::string& app_data) {
+    auto control = conn_weak.lock();
+    if (!control || !running()) return;
+    if (app_data.rfind("RETR", 0) == 0) {
+      begin_transfer(control);
+    } else if (app_data.rfind("QUIT", 0) == 0) {
+      control->close();
+    }
+  });
+  conn->set_on_peer_fin([conn_weak = std::weak_ptr<TcpConnection>{conn}] {
+    if (auto conn = conn_weak.lock()) conn->close();
+  });
+}
+
+void FtpServer::begin_transfer(const std::shared_ptr<TcpConnection>& control) {
+  const std::uint32_t file_bytes = draw_file_bytes();
+  ++transfers_started_;
+
+  // One-shot passive-mode data listener on an ephemeral port.
+  std::uint16_t data_port = 0;
+  std::shared_ptr<net::TcpListener> data_listener;
+  for (int attempt = 0; attempt < 16 && !data_listener; ++attempt) {
+    data_port = node().allocate_ephemeral_port();
+    try {
+      data_listener = node().tcp().listen(data_port, 1, TrafficOrigin::kFtp);
+    } catch (const std::invalid_argument&) {
+      // Port collision with a live socket; try the next ephemeral port.
+    }
+  }
+  if (!data_listener) return;
+
+  data_listener->set_on_accept([this, file_bytes, data_listener,
+                                control_weak = std::weak_ptr<TcpConnection>{control}](
+                                   std::shared_ptr<TcpConnection> data_conn) {
+    data_listener->close();  // single transfer per listener
+    data_conn->send(file_bytes, "DATA");
+    bytes_served_ += file_bytes;
+    data_conn->close();
+    data_conn->set_on_closed([this, control_weak](TcpCloseReason reason) {
+      if (reason != TcpCloseReason::kGracefulClose) return;
+      ++transfers_completed_;
+      if (auto control = control_weak.lock();
+          control && control->state() == TcpState::kEstablished) {
+        control->send(64, "226 transfer complete");
+      }
+    });
+  });
+
+  control->send(96, "150 PASV port=" + std::to_string(data_port) +
+                        " size=" + std::to_string(file_bytes));
+}
+
+// ---------------------------------------------------------------------------
+// FtpClient
+// ---------------------------------------------------------------------------
+
+struct FtpClient::Session {
+  std::shared_ptr<TcpConnection> control;
+  int files_left = 0;
+  bool transfer_active = false;
+  std::uint64_t expected_bytes = 0;
+  std::uint64_t received_bytes = 0;
+};
+
+FtpClient::FtpClient(container::Container& owner, util::Rng rng, FtpClientConfig config)
+    : App{owner, "ftp-client", rng}, config_{config} {}
+
+void FtpClient::on_start() { schedule_next_session(); }
+
+void FtpClient::schedule_next_session() {
+  const double gap = rng().exponential(config_.session_rate);
+  schedule(SimTime::from_seconds(gap), [this] {
+    start_session();
+    schedule_next_session();
+  });
+}
+
+void FtpClient::start_session() {
+  auto session = std::make_shared<Session>();
+  session->files_left =
+      1 + static_cast<int>(rng().poisson(std::max(0.0, config_.mean_files_per_session - 1)));
+
+  auto control = node().tcp().connect(config_.server, TrafficOrigin::kFtp);
+  session->control = control;
+
+  control->set_on_connected([this, session] { request_file(session); });
+
+  control->set_on_data([this, session](std::uint32_t, const std::string& app_data) {
+    if (app_data.rfind("150 PASV", 0) == 0) {
+      const auto port_pos = app_data.find("port=");
+      const auto size_pos = app_data.find("size=");
+      if (port_pos == std::string::npos || size_pos == std::string::npos) return;
+      const auto port = static_cast<std::uint16_t>(std::stoul(app_data.substr(port_pos + 5)));
+      const auto size = std::stoull(app_data.substr(size_pos + 5));
+      open_data_connection(session, port, size);
+    } else if (app_data.rfind("226", 0) == 0) {
+      // Server-side completion confirmation; the client-side completion is
+      // already counted when the data connection finished.
+      if (session->files_left > 0 && running()) {
+        const double pause = rng().exponential(1.0 / config_.mean_pause_seconds);
+        schedule(SimTime::from_seconds(pause), [this, session] {
+          if (session->control->state() == TcpState::kEstablished) request_file(session);
+        });
+      } else if (session->control->state() == TcpState::kEstablished) {
+        session->control->send(32, "QUIT");
+        session->control->close();
+      }
+    }
+  });
+}
+
+void FtpClient::request_file(const std::shared_ptr<Session>& s) {
+  if (s->files_left <= 0) return;
+  --s->files_left;
+  s->transfer_active = true;
+  s->expected_bytes = 0;
+  s->received_bytes = 0;
+  const auto file = rng().uniform_u64(5000);
+  s->control->send(64, "RETR file-" + std::to_string(file));
+}
+
+void FtpClient::open_data_connection(const std::shared_ptr<Session>& s, std::uint16_t port,
+                                     std::uint64_t expected_bytes) {
+  s->expected_bytes = expected_bytes;
+  auto data = node().tcp().connect(Endpoint{config_.server.addr, port}, TrafficOrigin::kFtp);
+
+  data->set_on_data([this, s](std::uint32_t bytes, const std::string&) {
+    s->received_bytes += bytes;
+    bytes_downloaded_ += bytes;
+  });
+
+  data->set_on_peer_fin([data] { data->close(); });
+
+  data->set_on_closed([this, s](TcpCloseReason reason) {
+    s->transfer_active = false;
+    if (reason == TcpCloseReason::kGracefulClose && s->received_bytes >= s->expected_bytes) {
+      ++downloads_completed_;
+    } else {
+      ++failed_downloads_;
+    }
+  });
+}
+
+}  // namespace ddoshield::apps

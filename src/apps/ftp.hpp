@@ -1,0 +1,83 @@
+// FTP traffic (the paper's customized FTP server).
+//
+// Classic two-connection FTP in passive mode: the client holds a control
+// connection on port 21 and sends RETR commands; for each transfer the
+// server opens a one-shot data listener on an ephemeral port, announces it
+// ("150 PASV port=P size=S"), streams the file over the data connection,
+// closes it, and confirms on the control channel ("226"). File sizes are
+// heavy-tailed, so FTP contributes the bulk-transfer end of the benign mix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "apps/app.hpp"
+#include "net/tcp.hpp"
+#include "util/stats.hpp"
+
+namespace ddoshield::apps {
+
+struct FtpServerConfig {
+  std::uint16_t control_port = 21;
+  std::size_t backlog = 64;
+  double mean_file_bytes = 256 * 1024;
+  double pareto_shape = 1.3;
+};
+
+class FtpServer : public App {
+ public:
+  FtpServer(container::Container& owner, util::Rng rng, FtpServerConfig config = {});
+
+  std::uint64_t transfers_started() const { return transfers_started_; }
+  std::uint64_t transfers_completed() const { return transfers_completed_; }
+  std::uint64_t bytes_served() const { return bytes_served_; }
+
+ protected:
+  void on_start() override;
+  void on_stop() override;
+
+ private:
+  void handle_control(std::shared_ptr<net::TcpConnection> conn);
+  void begin_transfer(const std::shared_ptr<net::TcpConnection>& control);
+  std::uint32_t draw_file_bytes();
+
+  FtpServerConfig config_;
+  std::shared_ptr<net::TcpListener> control_listener_;
+  std::uint64_t transfers_started_ = 0;
+  std::uint64_t transfers_completed_ = 0;
+  std::uint64_t bytes_served_ = 0;
+};
+
+struct FtpClientConfig {
+  net::Endpoint server;  // control endpoint (port 21)
+  double session_rate = 0.05;          // download sessions per second
+  double mean_files_per_session = 2.0;
+  double mean_pause_seconds = 2.0;     // gap between files in a session
+};
+
+class FtpClient : public App {
+ public:
+  FtpClient(container::Container& owner, util::Rng rng, FtpClientConfig config);
+
+  std::uint64_t downloads_completed() const { return downloads_completed_; }
+  std::uint64_t bytes_downloaded() const { return bytes_downloaded_; }
+  std::uint64_t failed_downloads() const { return failed_downloads_; }
+
+ protected:
+  void on_start() override;
+
+ private:
+  struct Session;
+  void schedule_next_session();
+  void start_session();
+  void request_file(const std::shared_ptr<Session>& s);
+  void open_data_connection(const std::shared_ptr<Session>& s, std::uint16_t port,
+                            std::uint64_t expected_bytes);
+
+  FtpClientConfig config_;
+  std::uint64_t downloads_completed_ = 0;
+  std::uint64_t bytes_downloaded_ = 0;
+  std::uint64_t failed_downloads_ = 0;
+};
+
+}  // namespace ddoshield::apps

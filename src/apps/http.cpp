@@ -1,0 +1,144 @@
+#include "apps/http.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.hpp"
+
+namespace ddoshield::apps {
+
+using net::TcpCloseReason;
+using net::TcpConnection;
+using net::TrafficOrigin;
+using util::SimTime;
+
+// ---------------------------------------------------------------------------
+// HttpServer
+// ---------------------------------------------------------------------------
+
+HttpServer::HttpServer(container::Container& owner, util::Rng rng, HttpServerConfig config)
+    : App{owner, "http-server", rng}, config_{config} {}
+
+void HttpServer::on_start() {
+  listener_ = node().tcp().listen(config_.port, config_.backlog, TrafficOrigin::kHttp);
+  listener_->set_on_accept(
+      [this](std::shared_ptr<TcpConnection> conn) { handle_connection(std::move(conn)); });
+}
+
+void HttpServer::on_stop() {
+  if (listener_) listener_->close();
+  listener_.reset();
+}
+
+std::uint32_t HttpServer::draw_response_bytes() {
+  // Pareto with mean = scale * shape / (shape - 1)  →  scale from mean.
+  const double scale =
+      config_.mean_response_bytes * (config_.pareto_shape - 1.0) / config_.pareto_shape;
+  const double size = rng().pareto(scale, config_.pareto_shape);
+  return static_cast<std::uint32_t>(std::clamp(size, 64.0, 4.0 * 1024 * 1024));
+}
+
+void HttpServer::handle_connection(std::shared_ptr<TcpConnection> conn) {
+  // Each in-order request message triggers one response.
+  conn->set_on_data([this, conn_weak = std::weak_ptr<TcpConnection>{conn}](
+                        std::uint32_t, const std::string& app_data) {
+    if (app_data.empty()) return;  // continuation segment of a large request
+    auto conn = conn_weak.lock();
+    if (!conn || !running()) return;
+    const std::uint32_t body = draw_response_bytes();
+    ++requests_served_;
+    bytes_served_ += body;
+    conn->send(body, "HTTP/1.1 200 OK len=" + std::to_string(body));
+  });
+  conn->set_on_peer_fin([conn_weak = std::weak_ptr<TcpConnection>{conn}] {
+    if (auto conn = conn_weak.lock()) conn->close();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// HttpClient
+// ---------------------------------------------------------------------------
+
+struct HttpClient::Session {
+  std::shared_ptr<TcpConnection> conn;
+  int requests_left = 0;
+  std::uint64_t expected_bytes = 0;   // current response's announced length
+  std::uint64_t received_bytes = 0;   // progress within the current response
+  SimTime request_sent_at;
+  bool awaiting_response = false;
+};
+
+HttpClient::HttpClient(container::Container& owner, util::Rng rng, HttpClientConfig config)
+    : App{owner, "http-client", rng}, config_{config} {}
+
+void HttpClient::on_start() { schedule_next_session(); }
+
+void HttpClient::schedule_next_session() {
+  const double gap = rng().exponential(config_.session_rate);
+  schedule(SimTime::from_seconds(gap), [this] {
+    start_session();
+    schedule_next_session();
+  });
+}
+
+void HttpClient::start_session() {
+  auto session = std::make_shared<Session>();
+  session->requests_left =
+      1 + static_cast<int>(rng().poisson(std::max(0.0, config_.mean_requests_per_session - 1)));
+
+  auto conn = node().tcp().connect(config_.server, TrafficOrigin::kHttp);
+  session->conn = conn;
+
+  conn->set_on_connected([this, session] { issue_request(session); });
+
+  conn->set_on_data([this, session](std::uint32_t bytes, const std::string& app_data) {
+    if (!session->awaiting_response) return;
+    if (!app_data.empty()) {
+      // Status line announces the body length: "HTTP/1.1 200 OK len=NNN".
+      const auto pos = app_data.rfind("len=");
+      if (pos != std::string::npos) {
+        session->expected_bytes = std::stoull(app_data.substr(pos + 4));
+      }
+    }
+    session->received_bytes += bytes;
+    bytes_downloaded_ += bytes;
+    if (session->expected_bytes > 0 && session->received_bytes >= session->expected_bytes) {
+      ++responses_completed_;
+      response_latency_.add((sim().now() - session->request_sent_at).to_seconds());
+      session->awaiting_response = false;
+      if (session->requests_left > 0 && running()) {
+        const double think = rng().exponential(1.0 / config_.mean_think_seconds);
+        schedule(SimTime::from_seconds(think), [this, session] {
+          if (session->conn->state() == net::TcpState::kEstablished) issue_request(session);
+        });
+      } else {
+        session->conn->close();
+      }
+    }
+  });
+
+  conn->set_on_closed([this, session](TcpCloseReason reason) {
+    if (reason != TcpCloseReason::kGracefulClose &&
+        (session->awaiting_response || session->requests_left > 0)) {
+      ++failed_sessions_;
+    }
+  });
+}
+
+void HttpClient::issue_request(const std::shared_ptr<Session>& s) {
+  if (s->requests_left <= 0) return;
+  --s->requests_left;
+  s->awaiting_response = true;
+  s->expected_bytes = 0;
+  s->received_bytes = 0;
+  s->request_sent_at = sim().now();
+  const auto obj = rng().uniform_u64(100000);
+  // Real request sizes vary with URL, headers, and cookies; a heavy-tailed
+  // draw around the configured mean keeps per-packet sizes from being a
+  // trivially separable constant.
+  const auto bytes = static_cast<std::uint32_t>(std::clamp(
+      rng().pareto(static_cast<double>(config_.request_bytes) * 0.5, 2.0), 120.0, 1400.0));
+  s->conn->send(bytes, "GET /obj-" + std::to_string(obj) + " HTTP/1.1");
+}
+
+}  // namespace ddoshield::apps

@@ -1,0 +1,84 @@
+// HTTP traffic: an Apache-like server on the TServer plus request/response
+// clients on the devices.
+//
+// The exchange is modelled at message level: the client sends a request
+// (a few hundred bytes, "GET /obj-N"), the server answers with a status
+// line announcing the response length followed by that many payload bytes,
+// and the client issues the next request after a think time or closes the
+// connection after a per-session request budget (HTTP keep-alive).
+// Response sizes are Pareto-distributed — heavy-tailed like real web
+// object sizes — so benign traffic has natural volume variance.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "apps/app.hpp"
+#include "net/tcp.hpp"
+#include "util/stats.hpp"
+
+namespace ddoshield::apps {
+
+struct HttpServerConfig {
+  std::uint16_t port = 80;
+  std::size_t backlog = 128;
+  double mean_response_bytes = 16 * 1024;  // Pareto-scaled
+  double pareto_shape = 1.5;
+};
+
+class HttpServer : public App {
+ public:
+  HttpServer(container::Container& owner, util::Rng rng, HttpServerConfig config = {});
+
+  std::uint64_t requests_served() const { return requests_served_; }
+  std::uint64_t bytes_served() const { return bytes_served_; }
+
+ protected:
+  void on_start() override;
+  void on_stop() override;
+
+ private:
+  void handle_connection(std::shared_ptr<net::TcpConnection> conn);
+  std::uint32_t draw_response_bytes();
+
+  HttpServerConfig config_;
+  std::shared_ptr<net::TcpListener> listener_;
+  std::uint64_t requests_served_ = 0;
+  std::uint64_t bytes_served_ = 0;
+};
+
+struct HttpClientConfig {
+  net::Endpoint server;
+  double session_rate = 0.5;        // new sessions per second (exponential gaps)
+  double mean_requests_per_session = 5.0;
+  double mean_think_seconds = 0.5;  // gap between requests in a session
+  std::uint32_t request_bytes = 350;
+};
+
+class HttpClient : public App {
+ public:
+  HttpClient(container::Container& owner, util::Rng rng, HttpClientConfig config);
+
+  std::uint64_t responses_completed() const { return responses_completed_; }
+  std::uint64_t bytes_downloaded() const { return bytes_downloaded_; }
+  std::uint64_t failed_sessions() const { return failed_sessions_; }
+  const util::OnlineStats& response_latency() const { return response_latency_; }
+
+ protected:
+  void on_start() override;
+
+ private:
+  void schedule_next_session();
+  void start_session();
+
+  struct Session;
+  void issue_request(const std::shared_ptr<Session>& s);
+
+  HttpClientConfig config_;
+  std::uint64_t responses_completed_ = 0;
+  std::uint64_t bytes_downloaded_ = 0;
+  std::uint64_t failed_sessions_ = 0;
+  util::OnlineStats response_latency_;
+};
+
+}  // namespace ddoshield::apps

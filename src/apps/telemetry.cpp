@@ -1,0 +1,110 @@
+#include "apps/telemetry.hpp"
+
+namespace ddoshield::apps {
+
+using net::TcpCloseReason;
+using net::TcpConnection;
+using net::TcpState;
+using net::TrafficOrigin;
+using util::SimTime;
+
+// ---------------------------------------------------------------------------
+// TelemetryBroker
+// ---------------------------------------------------------------------------
+
+TelemetryBroker::TelemetryBroker(container::Container& owner, util::Rng rng,
+                                 TelemetryBrokerConfig config)
+    : App{owner, "telemetry-broker", rng}, config_{config} {}
+
+void TelemetryBroker::on_start() {
+  listener_ = node().tcp().listen(config_.port, config_.backlog, TrafficOrigin::kHttp);
+  listener_->set_on_accept([this](std::shared_ptr<TcpConnection> conn) {
+    ++sessions_accepted_;
+    handle_connection(std::move(conn));
+  });
+}
+
+void TelemetryBroker::on_stop() {
+  if (listener_) listener_->close();
+  listener_.reset();
+}
+
+void TelemetryBroker::handle_connection(std::shared_ptr<TcpConnection> conn) {
+  conn->set_on_data([this, conn_weak = std::weak_ptr<TcpConnection>{conn}](
+                        std::uint32_t, const std::string& app_data) {
+    auto conn = conn_weak.lock();
+    if (!conn || !running()) return;
+    if (app_data.rfind("PUB ", 0) == 0) {
+      ++publishes_received_;
+      conn->send(8, "PUBACK");
+    } else if (app_data == "PINGREQ") {
+      conn->send(8, "PINGRESP");
+    }
+  });
+  conn->set_on_peer_fin([conn_weak = std::weak_ptr<TcpConnection>{conn}] {
+    if (auto conn = conn_weak.lock()) conn->close();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// TelemetrySensor
+// ---------------------------------------------------------------------------
+
+TelemetrySensor::TelemetrySensor(container::Container& owner, util::Rng rng,
+                                 TelemetrySensorConfig config)
+    : App{owner, "telemetry-sensor", rng}, config_{config} {}
+
+bool TelemetrySensor::connected() const {
+  return conn_ && conn_->state() == TcpState::kEstablished;
+}
+
+void TelemetrySensor::on_start() { dial(); }
+
+void TelemetrySensor::on_stop() {
+  if (conn_) conn_->abort();
+  conn_.reset();
+}
+
+void TelemetrySensor::dial() {
+  conn_ = node().tcp().connect(config_.broker, TrafficOrigin::kHttp);
+
+  conn_->set_on_connected([this] {
+    last_activity_ = sim().now();
+    publish_tick();
+    keepalive_tick();
+  });
+
+  conn_->set_on_data([this](std::uint32_t, const std::string& app_data) {
+    if (app_data == "PUBACK") ++publishes_acked_;
+  });
+
+  conn_->set_on_closed([this](TcpCloseReason) {
+    if (!running()) return;
+    ++reconnects_;
+    const double jitter = rng().uniform(0.5, 1.5);
+    schedule(SimTime::from_seconds(config_.reconnect_delay.to_seconds() * jitter),
+             [this] { dial(); });
+  });
+}
+
+void TelemetrySensor::publish_tick() {
+  if (!connected()) return;
+  const double reading = rng().normal(21.5, 0.4);  // a temperature, say
+  conn_->send(config_.reading_bytes,
+              "PUB sensors/" + node().name() + " value=" + std::to_string(reading));
+  ++publishes_sent_;
+  last_activity_ = sim().now();
+  const double gap = rng().exponential(config_.publish_rate);
+  schedule(SimTime::from_seconds(gap), [this] { publish_tick(); });
+}
+
+void TelemetrySensor::keepalive_tick() {
+  if (!connected()) return;
+  if (sim().now() - last_activity_ >= config_.keepalive) {
+    conn_->send(8, "PINGREQ");
+    last_activity_ = sim().now();
+  }
+  schedule(config_.keepalive, [this] { keepalive_tick(); });
+}
+
+}  // namespace ddoshield::apps

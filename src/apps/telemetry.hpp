@@ -1,0 +1,87 @@
+// IoT telemetry traffic (§V extension).
+//
+// The paper's threats-to-validity section concedes that HTTP/video/FTP
+// "may not be exhaustive, considering the wide range of protocols used in
+// the IoT environment" and plans to diversify via TON-IoT. This app adds
+// the most common missing pattern: MQTT-style sensor telemetry — devices
+// keep a long-lived connection to a broker and publish small readings at
+// a steady cadence, with periodic keep-alive pings. Disabled by default in
+// the canonical scenarios (so the calibrated paper reproductions are
+// untouched); enable it through BenignLoad::telemetry_publish_rate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "apps/app.hpp"
+#include "net/tcp.hpp"
+
+namespace ddoshield::apps {
+
+struct TelemetryBrokerConfig {
+  std::uint16_t port = 1883;  // MQTT
+  std::size_t backlog = 128;
+};
+
+/// The broker: accepts device connections, acknowledges publishes
+/// (QoS-1-style PUBACK), answers keep-alive pings.
+class TelemetryBroker : public App {
+ public:
+  TelemetryBroker(container::Container& owner, util::Rng rng,
+                  TelemetryBrokerConfig config = {});
+
+  std::uint64_t publishes_received() const { return publishes_received_; }
+  std::uint64_t sessions_accepted() const { return sessions_accepted_; }
+
+ protected:
+  void on_start() override;
+  void on_stop() override;
+
+ private:
+  void handle_connection(std::shared_ptr<net::TcpConnection> conn);
+
+  TelemetryBrokerConfig config_;
+  std::shared_ptr<net::TcpListener> listener_;
+  std::uint64_t publishes_received_ = 0;
+  std::uint64_t sessions_accepted_ = 0;
+};
+
+struct TelemetrySensorConfig {
+  net::Endpoint broker;
+  /// Readings per second (e.g. 0.5 = one sample every 2 s).
+  double publish_rate = 0.5;
+  std::uint32_t reading_bytes = 48;  // topic + small JSON payload
+  util::SimTime keepalive = util::SimTime::seconds(15);
+  util::SimTime reconnect_delay = util::SimTime::seconds(3);
+};
+
+/// A sensor: connects once, then publishes readings forever, pinging when
+/// idle and reconnecting (with jitter) if the broker connection drops —
+/// e.g. when a flood congests the path.
+class TelemetrySensor : public App {
+ public:
+  TelemetrySensor(container::Container& owner, util::Rng rng, TelemetrySensorConfig config);
+
+  std::uint64_t publishes_sent() const { return publishes_sent_; }
+  std::uint64_t publishes_acked() const { return publishes_acked_; }
+  std::uint64_t reconnects() const { return reconnects_; }
+  bool connected() const;
+
+ protected:
+  void on_start() override;
+  void on_stop() override;
+
+ private:
+  void dial();
+  void publish_tick();
+  void keepalive_tick();
+
+  TelemetrySensorConfig config_;
+  std::shared_ptr<net::TcpConnection> conn_;
+  std::uint64_t publishes_sent_ = 0;
+  std::uint64_t publishes_acked_ = 0;
+  std::uint64_t reconnects_ = 0;
+  util::SimTime last_activity_;
+};
+
+}  // namespace ddoshield::apps

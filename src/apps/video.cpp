@@ -1,0 +1,86 @@
+#include "apps/video.hpp"
+
+#include <string>
+
+namespace ddoshield::apps {
+
+using net::TcpConnection;
+using net::TcpState;
+using net::TrafficOrigin;
+using util::SimTime;
+
+// ---------------------------------------------------------------------------
+// VideoServer
+// ---------------------------------------------------------------------------
+
+VideoServer::VideoServer(container::Container& owner, util::Rng rng, VideoServerConfig config)
+    : App{owner, "video-server", rng}, config_{config} {}
+
+void VideoServer::on_start() {
+  listener_ = node().tcp().listen(config_.port, config_.backlog, TrafficOrigin::kVideo);
+  listener_->set_on_accept(
+      [this](std::shared_ptr<TcpConnection> conn) { handle_connection(std::move(conn)); });
+}
+
+void VideoServer::on_stop() {
+  if (listener_) listener_->close();
+  listener_.reset();
+}
+
+void VideoServer::handle_connection(std::shared_ptr<TcpConnection> conn) {
+  conn->set_on_data([this, conn_weak = std::weak_ptr<TcpConnection>{conn}](
+                        std::uint32_t, const std::string& app_data) {
+    if (app_data.rfind("PLAY", 0) != 0) return;
+    ++streams_started_;
+    stream_chunk(conn_weak);
+  });
+  conn->set_on_peer_fin([conn_weak = std::weak_ptr<TcpConnection>{conn}] {
+    if (auto conn = conn_weak.lock()) conn->close();
+  });
+}
+
+void VideoServer::stream_chunk(std::weak_ptr<TcpConnection> conn_weak) {
+  auto conn = conn_weak.lock();
+  if (!conn || !running()) return;
+  if (conn->state() != TcpState::kEstablished) return;  // viewer left
+  conn->send(config_.chunk_bytes);
+  ++chunks_sent_;
+  schedule(config_.chunk_interval, [this, conn_weak] { stream_chunk(conn_weak); });
+}
+
+// ---------------------------------------------------------------------------
+// VideoClient
+// ---------------------------------------------------------------------------
+
+VideoClient::VideoClient(container::Container& owner, util::Rng rng, VideoClientConfig config)
+    : App{owner, "video-client", rng}, config_{config} {}
+
+void VideoClient::on_start() { schedule_next_session(); }
+
+void VideoClient::schedule_next_session() {
+  const double gap = rng().exponential(config_.session_rate);
+  schedule(SimTime::from_seconds(gap), [this] {
+    start_session();
+    schedule_next_session();
+  });
+}
+
+void VideoClient::start_session() {
+  ++sessions_started_;
+  auto conn = node().tcp().connect(config_.server, TrafficOrigin::kVideo);
+
+  conn->set_on_connected([this, conn] {
+    const auto stream = rng().uniform_u64(64);
+    conn->send(96, "PLAY stream-" + std::to_string(stream));
+    // The viewer watches for an exponential duration, then hangs up.
+    const double watch = rng().exponential(1.0 / config_.mean_watch_seconds);
+    schedule(SimTime::from_seconds(watch), [conn] {
+      if (conn->state() == TcpState::kEstablished) conn->close();
+    });
+  });
+
+  conn->set_on_data(
+      [this](std::uint32_t bytes, const std::string&) { bytes_received_ += bytes; });
+}
+
+}  // namespace ddoshield::apps

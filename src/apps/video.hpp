@@ -1,0 +1,72 @@
+// Video streaming traffic (the paper's Nginx-RTMP role).
+//
+// A client connects to the streaming port and sends a PLAY command; the
+// server then pushes fixed-size chunks at the stream's frame cadence until
+// the viewer disconnects. This yields the long-lived, steadily-paced TCP
+// flows characteristic of video — a very different statistical signature
+// from HTTP's bursty request/response and FTP's bulk transfers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "apps/app.hpp"
+#include "net/tcp.hpp"
+#include "util/stats.hpp"
+
+namespace ddoshield::apps {
+
+struct VideoServerConfig {
+  std::uint16_t port = 1935;
+  std::size_t backlog = 64;
+  std::uint32_t chunk_bytes = 4096;
+  util::SimTime chunk_interval = util::SimTime::millis(100);  // ~327 kbit/s
+};
+
+class VideoServer : public App {
+ public:
+  VideoServer(container::Container& owner, util::Rng rng, VideoServerConfig config = {});
+
+  std::uint64_t streams_started() const { return streams_started_; }
+  std::uint64_t chunks_sent() const { return chunks_sent_; }
+
+ protected:
+  void on_start() override;
+  void on_stop() override;
+
+ private:
+  void handle_connection(std::shared_ptr<net::TcpConnection> conn);
+  void stream_chunk(std::weak_ptr<net::TcpConnection> conn_weak);
+
+  VideoServerConfig config_;
+  std::shared_ptr<net::TcpListener> listener_;
+  std::uint64_t streams_started_ = 0;
+  std::uint64_t chunks_sent_ = 0;
+};
+
+struct VideoClientConfig {
+  net::Endpoint server;
+  double session_rate = 0.1;          // viewing sessions per second
+  double mean_watch_seconds = 30.0;   // exponential session length
+};
+
+class VideoClient : public App {
+ public:
+  VideoClient(container::Container& owner, util::Rng rng, VideoClientConfig config);
+
+  std::uint64_t sessions_started() const { return sessions_started_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ protected:
+  void on_start() override;
+
+ private:
+  void schedule_next_session();
+  void start_session();
+
+  VideoClientConfig config_;
+  std::uint64_t sessions_started_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace ddoshield::apps

@@ -1,0 +1,85 @@
+#include "botnet/bot.hpp"
+
+#include "botnet/c2.hpp"
+
+namespace ddoshield::botnet {
+
+using net::TcpCloseReason;
+using net::TcpState;
+using net::TrafficOrigin;
+using util::SimTime;
+
+BotAgent::BotAgent(container::Container& owner, util::Rng rng, BotAgentConfig config)
+    : App{owner, "bot-agent", rng}, config_{config} {}
+
+std::uint64_t BotAgent::flood_packets_sent() const {
+  return flood_ ? flood_->packets_emitted() : flood_packets_total_;
+}
+
+bool BotAgent::connected() const {
+  return c2_conn_ && c2_conn_->state() == TcpState::kEstablished;
+}
+
+void BotAgent::on_start() {
+  flood_ = std::make_unique<FloodEngine>(node(), rng().fork("flood"));
+  dial_c2();
+}
+
+void BotAgent::on_stop() {
+  if (flood_) {
+    flood_packets_total_ = flood_->packets_emitted();
+    flood_->stop();
+  }
+  if (c2_conn_) c2_conn_->abort();
+  c2_conn_.reset();
+}
+
+void BotAgent::dial_c2() {
+  c2_conn_ = node().tcp().connect(config_.c2, TrafficOrigin::kMiraiC2);
+
+  c2_conn_->set_on_connected([this] {
+    c2_conn_->send(32, "REG " + node().name());
+    heartbeat();
+  });
+
+  c2_conn_->set_on_data([this](std::uint32_t, const std::string& app_data) {
+    handle_command(app_data);
+  });
+
+  c2_conn_->set_on_closed([this](TcpCloseReason) {
+    if (running()) schedule_reconnect();
+  });
+}
+
+void BotAgent::schedule_reconnect() {
+  // Jittered delay prevents a thundering herd when the C2 or the path
+  // comes back after churn.
+  const double jitter = rng().uniform(0.5, 1.5);
+  schedule(SimTime::from_seconds(config_.reconnect_delay.to_seconds() * jitter),
+           [this] { dial_c2(); });
+}
+
+void BotAgent::heartbeat() {
+  if (!connected()) return;
+  c2_conn_->send(16, "PING");
+  schedule(config_.heartbeat_interval, [this] { heartbeat(); });
+}
+
+void BotAgent::handle_command(const std::string& app_data) {
+  if (app_data.rfind("ATK ", 0) == 0) {
+    const C2Command cmd = C2Command::decode(app_data);
+    FloodConfig fc;
+    fc.type = cmd.type;
+    fc.target = cmd.target;
+    fc.target_port = cmd.target_port;
+    fc.duration = cmd.duration;
+    fc.packets_per_second = cmd.packets_per_second;
+    fc.spoof_sources = cmd.spoof_sources;
+    ++attacks_executed_;
+    flood_->start(fc);
+  } else if (app_data == "STP") {
+    flood_->stop();
+  }
+}
+
+}  // namespace ddoshield::botnet

@@ -1,0 +1,52 @@
+// The bot agent installed on a compromised device.
+//
+// Dials the C2, registers under the device's name, heartbeats, and
+// executes ATK/STP commands with its FloodEngine. If the C2 channel drops
+// (device churn, congestion collapse) it reconnects with jittered backoff,
+// so the botnet reassembles after disruption — the behaviour DDoSim's
+// churn-rate experiments measure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "apps/app.hpp"
+#include "botnet/floods.hpp"
+#include "net/tcp.hpp"
+
+namespace ddoshield::botnet {
+
+struct BotAgentConfig {
+  net::Endpoint c2;
+  util::SimTime heartbeat_interval = util::SimTime::seconds(10);
+  util::SimTime reconnect_delay = util::SimTime::seconds(2);
+};
+
+class BotAgent : public apps::App {
+ public:
+  BotAgent(container::Container& owner, util::Rng rng, BotAgentConfig config);
+
+  bool connected() const;
+  bool attacking() const { return flood_ && flood_->active(); }
+  std::uint64_t attacks_executed() const { return attacks_executed_; }
+  std::uint64_t flood_packets_sent() const;
+
+ protected:
+  void on_start() override;
+  void on_stop() override;
+
+ private:
+  void dial_c2();
+  void schedule_reconnect();
+  void heartbeat();
+  void handle_command(const std::string& app_data);
+
+  BotAgentConfig config_;
+  std::shared_ptr<net::TcpConnection> c2_conn_;
+  std::unique_ptr<FloodEngine> flood_;
+  std::uint64_t attacks_executed_ = 0;
+  std::uint64_t flood_packets_total_ = 0;
+};
+
+}  // namespace ddoshield::botnet

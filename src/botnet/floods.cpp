@@ -1,0 +1,117 @@
+#include "botnet/floods.hpp"
+
+#include <stdexcept>
+
+#include "net/simulator.hpp"
+
+namespace ddoshield::botnet {
+
+using net::IpProto;
+using net::Packet;
+using net::TcpFlags;
+using net::TrafficOrigin;
+using util::SimTime;
+
+std::string to_string(AttackType t) {
+  switch (t) {
+    case AttackType::kSynFlood: return "syn";
+    case AttackType::kAckFlood: return "ack";
+    case AttackType::kUdpFlood: return "udp";
+  }
+  return "?";
+}
+
+AttackType attack_type_from_string(const std::string& s) {
+  if (s == "syn") return AttackType::kSynFlood;
+  if (s == "ack") return AttackType::kAckFlood;
+  if (s == "udp") return AttackType::kUdpFlood;
+  throw std::invalid_argument("attack_type_from_string: unknown type '" + s + "'");
+}
+
+TrafficOrigin origin_of(AttackType t) {
+  switch (t) {
+    case AttackType::kSynFlood: return TrafficOrigin::kMiraiSynFlood;
+    case AttackType::kAckFlood: return TrafficOrigin::kMiraiAckFlood;
+    case AttackType::kUdpFlood: return TrafficOrigin::kMiraiUdpFlood;
+  }
+  return TrafficOrigin::kMiraiSynFlood;
+}
+
+FloodEngine::FloodEngine(net::Node& node, util::Rng rng) : node_{node}, rng_{rng} {}
+
+void FloodEngine::start(const FloodConfig& config, DoneFn done) {
+  if (config.packets_per_second <= 0.0) {
+    throw std::invalid_argument("FloodEngine: packets_per_second must be positive");
+  }
+  stop();
+  config_ = config;
+  done_ = std::move(done);
+  active_ = true;
+  deadline_ = node_.simulator().now() + config_.duration;
+  emit_next();
+}
+
+void FloodEngine::stop() {
+  timer_.cancel();
+  active_ = false;
+}
+
+void FloodEngine::emit_next() {
+  if (!active_) return;
+  if (node_.simulator().now() >= deadline_) {
+    active_ = false;
+    if (done_) done_();
+    return;
+  }
+  node_.send(craft_packet());
+  ++packets_emitted_;
+  // Exponential inter-packet gaps: a Poisson packet process, which is what
+  // a busy-looping sender thinned by OS jitter looks like on the wire.
+  const double gap = rng_.exponential(config_.packets_per_second);
+  timer_ = node_.simulator().schedule(SimTime::from_seconds(gap), [this] { emit_next(); });
+}
+
+Packet FloodEngine::craft_packet() {
+  Packet pkt;
+  pkt.dst = config_.target;
+  pkt.origin = origin_of(config_.type);
+  if (config_.spoof_sources) {
+    // Random globally-routable-looking source.
+    pkt.src = net::Ipv4Address{static_cast<std::uint32_t>(rng_.next_u64())};
+  }
+  switch (config_.type) {
+    case AttackType::kSynFlood:
+      pkt.proto = IpProto::kTcp;
+      pkt.dst_port = config_.target_port;
+      pkt.src_port = static_cast<std::uint16_t>(1024 + rng_.uniform_u64(64512));
+      pkt.tcp_flags = TcpFlags::kSyn;
+      pkt.seq = static_cast<std::uint32_t>(rng_.next_u64());
+      break;
+    case AttackType::kAckFlood:
+      pkt.proto = IpProto::kTcp;
+      pkt.dst_port = config_.target_port;
+      pkt.src_port = static_cast<std::uint16_t>(1024 + rng_.uniform_u64(64512));
+      pkt.tcp_flags = TcpFlags::kAck | TcpFlags::kPsh;
+      pkt.seq = static_cast<std::uint32_t>(rng_.next_u64());
+      pkt.ack = static_cast<std::uint32_t>(rng_.next_u64());
+      // Length jitters around the configured size (botmasters randomise
+      // it); a fixed length would be a single-feature giveaway.
+      pkt.payload_bytes = config_.ack_payload_bytes / 2 +
+                          static_cast<std::uint32_t>(rng_.uniform_u64(config_.ack_payload_bytes));
+      break;
+    case AttackType::kUdpFlood:
+      pkt.proto = IpProto::kUdp;
+      pkt.src_port = static_cast<std::uint16_t>(1024 + rng_.uniform_u64(64512));
+      pkt.dst_port = config_.udp_port_spread == 0
+                         ? config_.target_port
+                         : static_cast<std::uint16_t>(
+                               config_.target_port +
+                               rng_.uniform_u64(config_.udp_port_spread));
+      pkt.payload_bytes = config_.udp_payload_bytes / 2 +
+                          static_cast<std::uint32_t>(rng_.uniform_u64(config_.udp_payload_bytes));
+      break;
+  }
+  return pkt;
+}
+
+}  // namespace ddoshield::botnet

@@ -1,0 +1,79 @@
+// Mirai attack vectors: SYN flood, ACK flood, UDP flood.
+//
+// A FloodEngine is a packet generator bound to a node. It emits raw
+// crafted packets (bypassing the socket layer, as Mirai's attack modules
+// do with raw sockets) at a configured rate with per-packet jitter, random
+// source ports and sequence numbers, and an optional spoofed-source mode.
+// The victim's stack answers per its state machine — SYN-ACKs from the
+// listener, RSTs for stray ACKs, silent drops for UDP — so the flood's
+// on-wire footprint is bidirectional and realistic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace ddoshield::botnet {
+
+enum class AttackType : std::uint8_t { kSynFlood = 0, kAckFlood, kUdpFlood };
+
+std::string to_string(AttackType t);
+/// Parses "syn"/"ack"/"udp"; throws std::invalid_argument otherwise.
+AttackType attack_type_from_string(const std::string& s);
+
+net::TrafficOrigin origin_of(AttackType t);
+
+struct FloodConfig {
+  AttackType type = AttackType::kSynFlood;
+  net::Ipv4Address target;
+  std::uint16_t target_port = 80;
+  double packets_per_second = 1000.0;
+  util::SimTime duration = util::SimTime::seconds(10);
+  /// Spoof random source addresses (Mirai's TCP vectors support this when
+  /// the device is not NATed). Spoofed floods defeat per-source filtering
+  /// and leave half-open embryos that can never complete.
+  bool spoof_sources = false;
+  std::uint32_t udp_payload_bytes = 512;
+  /// Mirai's ACK flood carries a random payload (512 bytes by default in
+  /// the leaked source), which makes its packets look like ordinary data
+  /// segments rather than empty window updates.
+  std::uint32_t ack_payload_bytes = 512;
+  /// UDP flood sprays this many destination ports round-robin-randomly;
+  /// 0 = always target_port.
+  std::uint16_t udp_port_spread = 1024;
+};
+
+class FloodEngine {
+ public:
+  using DoneFn = std::function<void()>;
+
+  FloodEngine(net::Node& node, util::Rng rng);
+
+  /// Starts emitting; calls `done` when the configured duration elapses.
+  /// A flood can be stopped early with stop().
+  void start(const FloodConfig& config, DoneFn done = nullptr);
+  void stop();
+
+  bool active() const { return active_; }
+  std::uint64_t packets_emitted() const { return packets_emitted_; }
+
+ private:
+  void emit_next();
+  net::Packet craft_packet();
+
+  net::Node& node_;
+  util::Rng rng_;
+  FloodConfig config_;
+  DoneFn done_;
+  bool active_ = false;
+  util::SimTime deadline_;
+  net::EventHandle timer_;
+  std::uint64_t packets_emitted_ = 0;
+};
+
+}  // namespace ddoshield::botnet

@@ -1,0 +1,158 @@
+#include "botnet/scanner.hpp"
+
+namespace ddoshield::botnet {
+
+using net::Endpoint;
+using net::TcpCloseReason;
+using net::TcpConnection;
+using net::TcpState;
+using net::TrafficOrigin;
+using util::SimTime;
+
+// ---------------------------------------------------------------------------
+// Scanner
+// ---------------------------------------------------------------------------
+
+struct Scanner::HostScan {
+  net::Ipv4Address address;
+  std::size_t next_credential = 0;
+  std::size_t guesses = 0;
+  std::shared_ptr<TcpConnection> conn;
+  bool done = false;
+};
+
+Scanner::Scanner(container::Container& owner, util::Rng rng, ScannerConfig config,
+                 FoundFn on_found, DoneFn on_done)
+    : App{owner, "mirai-scanner", rng},
+      config_{std::move(config)},
+      on_found_{std::move(on_found)},
+      on_done_{std::move(on_done)} {}
+
+void Scanner::on_start() {
+  if (config_.targets.empty()) {
+    finished_ = true;
+    if (on_done_) on_done_();
+    return;
+  }
+  launch_next();
+}
+
+void Scanner::launch_next() {
+  while (running() && in_flight_ < config_.concurrency &&
+         next_target_ < config_.targets.size()) {
+    scan_host(next_target_++);
+  }
+  if (in_flight_ == 0 && next_target_ >= config_.targets.size() && !finished_) {
+    finished_ = true;
+    if (on_done_) on_done_();
+  }
+}
+
+void Scanner::scan_host(std::size_t target_index) {
+  auto scan = std::make_shared<HostScan>();
+  scan->address = config_.targets[target_index];
+  ++in_flight_;
+  open_session(scan);
+}
+
+void Scanner::open_session(const std::shared_ptr<HostScan>& scan) {
+  if (!running() || scan->done) return;
+  auto conn =
+      node().tcp().connect(Endpoint{scan->address, config_.telnet_port}, TrafficOrigin::kMiraiScan);
+  scan->conn = conn;
+
+  auto send_guess = [this, scan_weak = std::weak_ptr<HostScan>{scan}] {
+    auto scan = scan_weak.lock();
+    if (!scan || scan->done || !running()) return;
+    if (scan->guesses >= config_.max_guesses_per_host ||
+        scan->next_credential >= credential_dictionary_size()) {
+      scan->conn->abort();
+      host_finished(scan, false);
+      return;
+    }
+    // A stale timer can fire after the daemon dropped the session; the
+    // credential must not be consumed then — the reconnect path will
+    // retry it on the fresh session.
+    if (scan->conn->state() != TcpState::kEstablished) return;
+    const Credential& cred = credential_at(scan->next_credential++);
+    ++scan->guesses;
+    ++guesses_sent_;
+    scan->conn->send(48, "LOGIN " + cred.user + " " + cred.pass);
+  };
+
+  conn->set_on_connected([send_guess] { send_guess(); });
+
+  conn->set_on_data([this, scan, send_guess](std::uint32_t, const std::string& app_data) {
+    if (scan->done || !running()) return;
+    if (app_data.rfind("OK", 0) == 0) {
+      // The credential that just succeeded is the previous one issued.
+      const Credential& cred = credential_at(scan->next_credential - 1);
+      scan->conn->close();
+      ++hosts_compromised_;
+      host_finished(scan, true);
+      if (on_found_) on_found_(ScanResult{scan->address, cred});
+    } else if (app_data.rfind("FAIL", 0) == 0) {
+      schedule(config_.guess_interval, send_guess);
+    }
+  });
+
+  conn->set_on_closed([this, scan](TcpCloseReason reason) {
+    if (scan->done || !running()) return;
+    if (reason == TcpCloseReason::kConnectTimeout) {
+      // Host unreachable (churned out or no telnet): give up on it.
+      host_finished(scan, false);
+      return;
+    }
+    if (scan->guesses >= config_.max_guesses_per_host ||
+        scan->next_credential >= credential_dictionary_size()) {
+      host_finished(scan, false);
+      return;
+    }
+    // Daemon dropped us mid-dictionary; reconnect and continue.
+    schedule(config_.reconnect_delay, [this, scan] { open_session(scan); });
+  });
+}
+
+void Scanner::host_finished(const std::shared_ptr<HostScan>& scan, bool /*compromised*/) {
+  if (scan->done) return;
+  scan->done = true;
+  ++hosts_scanned_;
+  --in_flight_;
+  launch_next();
+}
+
+// ---------------------------------------------------------------------------
+// Loader
+// ---------------------------------------------------------------------------
+
+Loader::Loader(container::Container& owner, util::Rng rng, LoaderConfig config,
+               InstalledFn on_installed)
+    : App{owner, "mirai-loader", rng},
+      config_{std::move(config)},
+      on_installed_{std::move(on_installed)} {}
+
+void Loader::infect(const ScanResult& result) {
+  if (!running()) return;
+  ++installs_attempted_;
+  auto conn = node().tcp().connect(Endpoint{result.address, config_.telnet_port},
+                                   TrafficOrigin::kMiraiScan);
+  auto logged_in = std::make_shared<bool>(false);
+
+  conn->set_on_connected([conn, result] {
+    conn->send(48, "LOGIN " + result.credential.user + " " + result.credential.pass);
+  });
+
+  conn->set_on_data([this, conn, logged_in, addr = result.address](
+                        std::uint32_t, const std::string& app_data) {
+    if (app_data.rfind("OK", 0) == 0 && !*logged_in) {
+      *logged_in = true;
+      conn->send(64, "INSTALL " + config_.c2_address);
+    } else if (app_data.rfind("INSTALLED", 0) == 0) {
+      ++installs_succeeded_;
+      if (conn->state() == TcpState::kEstablished) conn->close();
+      if (on_installed_) on_installed_(addr);
+    }
+  });
+}
+
+}  // namespace ddoshield::botnet

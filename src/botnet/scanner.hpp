@@ -1,0 +1,105 @@
+// Mirai scanner and loader.
+//
+// The Scanner sweeps a target list, opens telnet sessions, and brute-forces
+// the credential dictionary (reconnecting when the daemon drops the session
+// after too many failures). Hits are handed to the Loader, which logs in
+// with the recovered credential and issues INSTALL <c2-addr>, triggering
+// the device's infection callback. Together they reproduce Mirai's
+// scan → report → load pipeline; the packets are labelled kMiraiScan.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "botnet/credentials.hpp"
+#include "net/tcp.hpp"
+
+namespace ddoshield::botnet {
+
+struct ScanResult {
+  net::Ipv4Address address;
+  Credential credential;
+};
+
+struct ScannerConfig {
+  std::vector<net::Ipv4Address> targets;
+  std::uint16_t telnet_port = 23;
+  /// Simultaneously scanned hosts (Mirai kept many sockets in flight).
+  std::size_t concurrency = 4;
+  /// Pause between credential guesses within a session.
+  util::SimTime guess_interval = util::SimTime::millis(200);
+  /// Pause before retrying a host whose session was dropped mid-dictionary.
+  util::SimTime reconnect_delay = util::SimTime::millis(500);
+  /// Give up on a host after this many total guesses (patched device).
+  std::size_t max_guesses_per_host = 24;
+};
+
+class Scanner : public apps::App {
+ public:
+  using FoundFn = std::function<void(const ScanResult&)>;
+  using DoneFn = std::function<void()>;
+
+  Scanner(container::Container& owner, util::Rng rng, ScannerConfig config,
+          FoundFn on_found, DoneFn on_done = nullptr);
+
+  std::uint64_t hosts_scanned() const { return hosts_scanned_; }
+  std::uint64_t hosts_compromised() const { return hosts_compromised_; }
+  std::uint64_t guesses_sent() const { return guesses_sent_; }
+  bool finished() const { return finished_; }
+
+ protected:
+  void on_start() override;
+
+ private:
+  struct HostScan;
+  void launch_next();
+  void scan_host(std::size_t target_index);
+  void open_session(const std::shared_ptr<HostScan>& scan);
+  void host_finished(const std::shared_ptr<HostScan>& scan, bool compromised);
+
+  ScannerConfig config_;
+  FoundFn on_found_;
+  DoneFn on_done_;
+  std::size_t next_target_ = 0;
+  std::size_t in_flight_ = 0;
+  std::uint64_t hosts_scanned_ = 0;
+  std::uint64_t hosts_compromised_ = 0;
+  std::uint64_t guesses_sent_ = 0;
+  bool finished_ = false;
+};
+
+struct LoaderConfig {
+  std::uint16_t telnet_port = 23;
+  std::string c2_address;  // dotted quad handed to INSTALL
+};
+
+/// Logs into a compromised device with the recovered credential and plants
+/// the bot. One Loader serves the whole campaign.
+class Loader : public apps::App {
+ public:
+  using InstalledFn = std::function<void(net::Ipv4Address)>;
+
+  Loader(container::Container& owner, util::Rng rng, LoaderConfig config,
+         InstalledFn on_installed = nullptr);
+
+  /// Starts an install session against the device.
+  void infect(const ScanResult& result);
+
+  std::uint64_t installs_attempted() const { return installs_attempted_; }
+  std::uint64_t installs_succeeded() const { return installs_succeeded_; }
+
+ protected:
+  void on_start() override {}
+
+ private:
+  LoaderConfig config_;
+  InstalledFn on_installed_;
+  std::uint64_t installs_attempted_ = 0;
+  std::uint64_t installs_succeeded_ = 0;
+};
+
+}  // namespace ddoshield::botnet

@@ -1,0 +1,74 @@
+#include "botnet/telnet_service.hpp"
+
+#include <memory>
+
+namespace ddoshield::botnet {
+
+using net::TcpConnection;
+using net::TrafficOrigin;
+
+TelnetService::TelnetService(container::Container& owner, util::Rng rng,
+                             TelnetServiceConfig config, InfectedFn on_infected)
+    : App{owner, "telnetd", rng}, config_{config}, on_infected_{std::move(on_infected)} {}
+
+void TelnetService::on_start() {
+  // Replies to scan traffic are part of the attack's footprint: label with
+  // the scan origin, matching flow-based ground-truth labelling.
+  listener_ = node().tcp().listen(config_.port, config_.backlog, TrafficOrigin::kMiraiScan);
+  listener_->set_on_accept(
+      [this](std::shared_ptr<TcpConnection> conn) { handle_session(std::move(conn)); });
+}
+
+void TelnetService::on_stop() {
+  if (listener_) listener_->close();
+  listener_.reset();
+}
+
+void TelnetService::handle_session(std::shared_ptr<TcpConnection> conn) {
+  // Per-session state lives in the closure.
+  auto attempts = std::make_shared<int>(0);
+  auto authenticated = std::make_shared<bool>(false);
+
+  conn->set_on_data([this, attempts, authenticated,
+                     conn_weak = std::weak_ptr<TcpConnection>{conn}](
+                        std::uint32_t, const std::string& app_data) {
+    auto conn = conn_weak.lock();
+    if (!conn || !running()) return;
+
+    if (app_data.rfind("LOGIN ", 0) == 0) {
+      ++login_attempts_;
+      ++*attempts;
+      // Command format: "LOGIN <user> <pass>"; pass may be empty.
+      const std::string rest = app_data.substr(6);
+      const auto space = rest.find(' ');
+      const std::string user = space == std::string::npos ? rest : rest.substr(0, space);
+      const std::string pass = space == std::string::npos ? "" : rest.substr(space + 1);
+
+      if (config_.credential && user == config_.credential->user &&
+          pass == config_.credential->pass) {
+        *authenticated = true;
+        ++successful_logins_;
+        conn->send(32, "OK shell");
+      } else {
+        conn->send(32, "FAIL");
+        if (*attempts >= config_.max_attempts_per_session) conn->abort();
+      }
+      return;
+    }
+
+    if (app_data.rfind("INSTALL ", 0) == 0 && *authenticated) {
+      infected_ = true;
+      const std::string c2_addr = app_data.substr(8);
+      conn->send(32, "INSTALLED");
+      conn->close();
+      if (on_infected_) on_infected_(c2_addr);
+      return;
+    }
+  });
+
+  conn->set_on_peer_fin([conn_weak = std::weak_ptr<TcpConnection>{conn}] {
+    if (auto conn = conn_weak.lock()) conn->close();
+  });
+}
+
+}  // namespace ddoshield::botnet

@@ -1,0 +1,60 @@
+// The vulnerable telnet daemon running on each IoT device.
+//
+// This is the "vulnerable binary inside the Dev container" of the paper:
+// it answers on port 23, checks LOGIN attempts against the device's
+// (factory-default) credential, and — once authenticated — accepts an
+// INSTALL command that hands control to the infection callback, at which
+// point the testbed starts a BotAgent on the device.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "apps/app.hpp"
+#include "botnet/credentials.hpp"
+#include "net/tcp.hpp"
+
+namespace ddoshield::botnet {
+
+struct TelnetServiceConfig {
+  std::uint16_t port = 23;
+  std::size_t backlog = 16;
+  /// The factory credential this device still has set; nullopt = device
+  /// is patched (no dictionary entry works).
+  std::optional<Credential> credential;
+  /// Failed attempts before the daemon drops the session (then the scanner
+  /// must reconnect — matching Mirai's reconnect-per-few-guesses pattern).
+  int max_attempts_per_session = 4;
+};
+
+class TelnetService : public apps::App {
+ public:
+  /// `on_infected` fires when an authenticated peer issues INSTALL; the
+  /// argument is the C2 address string carried in the command.
+  using InfectedFn = std::function<void(const std::string& c2_addr)>;
+
+  TelnetService(container::Container& owner, util::Rng rng, TelnetServiceConfig config,
+                InfectedFn on_infected);
+
+  std::uint64_t login_attempts() const { return login_attempts_; }
+  std::uint64_t successful_logins() const { return successful_logins_; }
+  bool infected() const { return infected_; }
+
+ protected:
+  void on_start() override;
+  void on_stop() override;
+
+ private:
+  void handle_session(std::shared_ptr<net::TcpConnection> conn);
+
+  TelnetServiceConfig config_;
+  InfectedFn on_infected_;
+  std::shared_ptr<net::TcpListener> listener_;
+  std::uint64_t login_attempts_ = 0;
+  std::uint64_t successful_logins_ = 0;
+  bool infected_ = false;
+};
+
+}  // namespace ddoshield::botnet

@@ -1,0 +1,43 @@
+#include "capture/flow.hpp"
+
+#include <tuple>
+
+namespace ddoshield::capture {
+
+void FlowTable::add(const PacketRecord& record) {
+  auto [it, inserted] = flows_.try_emplace(FlowKey::of(record));
+  FlowRecord& flow = it->second;
+  if (inserted) flow.first_seen = record.timestamp;
+  flow.last_seen = record.timestamp;
+  ++flow.packets;
+  flow.bytes += record.wire_bytes;
+  if (record.is_tcp()) {
+    flow.syn_count += record.has_flag(net::TcpFlags::kSyn);
+    flow.fin_count += record.has_flag(net::TcpFlags::kFin);
+    flow.rst_count += record.has_flag(net::TcpFlags::kRst);
+  }
+  flow.malicious = flow.malicious || record.is_malicious();
+}
+
+std::size_t FlowTable::short_lived_count(util::SimTime max_duration,
+                                         std::uint64_t max_packets) const {
+  std::size_t n = 0;
+  for (const auto& [key, flow] : flows_) {
+    if (flow.duration() <= max_duration && flow.packets <= max_packets) ++n;
+  }
+  return n;
+}
+
+std::size_t FlowTable::repeated_attempt_sources(std::uint32_t min_syns) const {
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint16_t>, std::uint32_t> syns;
+  for (const auto& [key, flow] : flows_) {
+    if (flow.syn_count > 0) {
+      syns[{key.src_addr, key.dst_addr, key.dst_port}] += flow.syn_count;
+    }
+  }
+  std::size_t n = 0;
+  for (const auto& [agg, count] : syns) n += count >= min_syns;
+  return n;
+}
+
+}  // namespace ddoshield::capture

@@ -1,0 +1,67 @@
+// Flow tracking over captured packets.
+//
+// A flow is the directional 5-tuple. The table powers flow-level analysis:
+// short-lived-connection detection, repeated connection attempts, per-flow
+// byte/packet accounting — and gives experiments a Wireshark-
+// "conversations"-style view of a run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "capture/packet_record.hpp"
+#include "net/packet.hpp"
+#include "util/sim_time.hpp"
+
+namespace ddoshield::capture {
+
+struct FlowKey {
+  std::uint32_t src_addr = 0;
+  std::uint32_t dst_addr = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+
+  static FlowKey of(const PacketRecord& r) {
+    return FlowKey{r.src_addr, r.dst_addr, r.src_port, r.dst_port, r.protocol};
+  }
+};
+
+struct FlowRecord {
+  util::SimTime first_seen;
+  util::SimTime last_seen;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint32_t syn_count = 0;
+  std::uint32_t fin_count = 0;
+  std::uint32_t rst_count = 0;
+  bool malicious = false;  // any packet labelled malicious taints the flow
+
+  util::SimTime duration() const { return last_seen - first_seen; }
+};
+
+class FlowTable {
+ public:
+  void add(const PacketRecord& record);
+
+  std::size_t flow_count() const { return flows_.size(); }
+  const std::map<FlowKey, FlowRecord>& flows() const { return flows_; }
+
+  /// Flows shorter than `max_duration` with at most `max_packets` packets —
+  /// the scanning / failed-handshake signature.
+  std::size_t short_lived_count(util::SimTime max_duration, std::uint64_t max_packets) const;
+
+  /// Number of (src, dst, dst_port) aggregates with at least `min_syns`
+  /// SYNs — repeated connection attempts.
+  std::size_t repeated_attempt_sources(std::uint32_t min_syns) const;
+
+  void clear() { flows_.clear(); }
+
+ private:
+  std::map<FlowKey, FlowRecord> flows_;
+};
+
+}  // namespace ddoshield::capture

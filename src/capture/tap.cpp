@@ -1,0 +1,30 @@
+#include "capture/tap.hpp"
+
+namespace ddoshield::capture {
+
+void PacketTap::attach_to(net::Node& node) {
+  node.add_tap([this, &node](const net::Packet& pkt, net::TapDirection dir) {
+    on_packet(pkt, dir, node);
+  });
+}
+
+void PacketTap::on_packet(const net::Packet& pkt, net::TapDirection dir, net::Node& node) {
+  if (!enabled_) return;
+  switch (dir) {
+    case net::TapDirection::kReceived:
+      if (!config_.capture_received) return;
+      break;
+    case net::TapDirection::kSent:
+      if (!config_.capture_sent) return;
+      break;
+    case net::TapDirection::kForwarded:
+      if (!config_.capture_forwarded) return;
+      break;
+  }
+  ++packets_captured_;
+  const PacketRecord record =
+      PacketRecord::from_packet(pkt, node.simulator().now() + config_.clock_offset);
+  for (const auto& sink : sinks_) sink(record);
+}
+
+}  // namespace ddoshield::capture

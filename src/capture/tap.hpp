@@ -1,0 +1,57 @@
+// PacketTap: the testbed's Wireshark.
+//
+// Attaches to a node (typically the TServer, so it sees everything that
+// reaches or leaves the victim) and streams PacketRecords to subscribers:
+// the dataset recorder during generation runs, the real-time IDS during
+// detection runs. Capturing both received and sent packets makes the
+// trace bidirectional, like port-mirroring the victim's access link.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "capture/packet_record.hpp"
+#include "net/node.hpp"
+
+namespace ddoshield::capture {
+
+struct TapConfig {
+  bool capture_received = true;
+  bool capture_sent = true;
+  bool capture_forwarded = false;  // enable when tapping the router instead
+  /// Added to every record's timestamp: maps the simulation's 0-based
+  /// clock onto the capture wall clock. A detection run performed after a
+  /// training capture carries a later offset, exactly like the absolute
+  /// timestamps in consecutive real pcaps.
+  util::SimTime clock_offset;
+};
+
+class PacketTap {
+ public:
+  using SinkFn = std::function<void(const PacketRecord&)>;
+
+  explicit PacketTap(TapConfig config = {}) : config_{config} {}
+
+  /// Registers with the node; the tap must outlive the node's traffic.
+  void attach_to(net::Node& node);
+
+  void add_sink(SinkFn sink) { sinks_.push_back(std::move(sink)); }
+
+  /// Pausing keeps the tap attached but discards traffic (used between
+  /// the generation and detection phases of an experiment).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  std::uint64_t packets_captured() const { return packets_captured_; }
+
+ private:
+  void on_packet(const net::Packet& pkt, net::TapDirection dir, net::Node& node);
+
+  TapConfig config_;
+  std::vector<SinkFn> sinks_;
+  bool enabled_ = true;
+  std::uint64_t packets_captured_ = 0;
+};
+
+}  // namespace ddoshield::capture

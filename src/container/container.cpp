@@ -1,0 +1,56 @@
+#include "container/container.hpp"
+
+#include <stdexcept>
+
+namespace ddoshield::container {
+
+std::string to_string(ContainerState s) {
+  switch (s) {
+    case ContainerState::kCreated: return "created";
+    case ContainerState::kRunning: return "running";
+    case ContainerState::kStopped: return "stopped";
+  }
+  return "?";
+}
+
+Container::Container(std::string name, Image image)
+    : name_{std::move(name)}, image_{std::move(image)} {}
+
+void Container::attach_node(net::Node& node) {
+  if (state_ == ContainerState::kRunning) {
+    throw std::logic_error("Container::attach_node: container is running");
+  }
+  node_ = &node;
+}
+
+net::Node& Container::node() {
+  if (node_ == nullptr) {
+    throw std::logic_error("Container::node: no node attached to " + name_);
+  }
+  return *node_;
+}
+
+std::string Container::env(const std::string& key, const std::string& fallback) const {
+  const auto it = env_.find(key);
+  return it == env_.end() ? fallback : it->second;
+}
+
+void Container::start() {
+  if (state_ == ContainerState::kRunning) {
+    throw std::logic_error("Container::start: already running: " + name_);
+  }
+  if (node_ == nullptr) {
+    throw std::logic_error("Container::start: no network bridge for " + name_);
+  }
+  state_ = ContainerState::kRunning;
+  if (image_.entrypoint) image_.entrypoint(*this);
+}
+
+void Container::stop() {
+  if (state_ != ContainerState::kRunning) return;
+  state_ = ContainerState::kStopped;
+  for (auto& hook : stop_hooks_) hook();
+  stop_hooks_.clear();
+}
+
+}  // namespace ddoshield::container

@@ -1,0 +1,81 @@
+// Container and image model.
+//
+// DDoShield-IoT runs each role (Devs, Attacker, TServer, IDS) as a Docker
+// container bridged onto the NS-3 network through a ghost node. This module
+// reproduces the *semantics* that matter to the testbed: named images with
+// an entrypoint, container lifecycle (created → running → stopped), a
+// network bridge binding the container to exactly one simulated node, and
+// per-container resource accounting (the `docker stats` role).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "container/resource_account.hpp"
+#include "net/node.hpp"
+
+namespace ddoshield::container {
+
+/// A container image: a named template whose entrypoint is invoked when a
+/// container created from it starts. The entrypoint receives the container
+/// so it can reach the bridged node and the environment.
+class Container;
+using Entrypoint = std::function<void(Container&)>;
+
+struct Image {
+  std::string name;     // e.g. "ddoshield/dev"
+  std::string tag;      // e.g. "1.0"
+  Entrypoint entrypoint;
+
+  std::string ref() const { return name + ":" + tag; }
+};
+
+enum class ContainerState { kCreated, kRunning, kStopped };
+
+std::string to_string(ContainerState s);
+
+class Container {
+ public:
+  Container(std::string name, Image image);
+
+  const std::string& name() const { return name_; }
+  const Image& image() const { return image_; }
+  ContainerState state() const { return state_; }
+
+  // --- network bridge ------------------------------------------------------
+  /// Binds the container to its ghost node. Must happen before start();
+  /// rebinding a running container throws (as would re-plumbing docker
+  /// networking live).
+  void attach_node(net::Node& node);
+  bool has_node() const { return node_ != nullptr; }
+  net::Node& node();
+
+  // --- environment -----------------------------------------------------------
+  void set_env(const std::string& key, std::string value) { env_[key] = std::move(value); }
+  /// Returns the value or `fallback` when unset.
+  std::string env(const std::string& key, const std::string& fallback = {}) const;
+
+  // --- lifecycle -----------------------------------------------------------
+  /// Runs the image entrypoint. Throws if already running or no node bound.
+  void start();
+  void stop();
+  /// Registers teardown work run at stop() (apps cancel their timers here).
+  void on_stop(std::function<void()> fn) { stop_hooks_.push_back(std::move(fn)); }
+
+  ResourceAccount& resources() { return resources_; }
+  const ResourceAccount& resources() const { return resources_; }
+
+ private:
+  std::string name_;
+  Image image_;
+  ContainerState state_ = ContainerState::kCreated;
+  net::Node* node_ = nullptr;
+  std::map<std::string, std::string> env_;
+  std::vector<std::function<void()>> stop_hooks_;
+  ResourceAccount resources_;
+};
+
+}  // namespace ddoshield::container

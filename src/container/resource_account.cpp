@@ -1,0 +1,41 @@
+#include "container/resource_account.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ddoshield::container {
+
+void ResourceAccount::alloc(std::uint64_t bytes) {
+  heap_bytes_ += bytes;
+  peak_heap_bytes_ = std::max(peak_heap_bytes_, heap_bytes_);
+}
+
+void ResourceAccount::free(std::uint64_t bytes) {
+  if (bytes > heap_bytes_) {
+    throw std::logic_error("ResourceAccount::free: freeing more than allocated");
+  }
+  heap_bytes_ -= bytes;
+}
+
+void ResourceAccount::reset() { *this = ResourceAccount{}; }
+
+std::string ResourceAccount::summary() const {
+  std::ostringstream os;
+  os << "cpu_ops=" << cpu_ops_ << " cpu_time_ms=" << static_cast<double>(cpu_time_ns_) * 1e-6
+     << " heap_kb=" << static_cast<double>(heap_bytes_) / 1024.0
+     << " peak_kb=" << static_cast<double>(peak_heap_bytes_) / 1024.0;
+  return os.str();
+}
+
+void ScopedAllocation::resize(std::uint64_t bytes) {
+  if (account_ == nullptr) throw std::logic_error("ScopedAllocation::resize: empty");
+  if (bytes >= bytes_) {
+    account_->alloc(bytes - bytes_);
+  } else {
+    account_->free(bytes_ - bytes);
+  }
+  bytes_ = bytes;
+}
+
+}  // namespace ddoshield::container

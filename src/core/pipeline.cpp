@@ -1,0 +1,126 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "ml/cnn.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/model_store.hpp"
+#include "ml/random_forest.hpp"
+
+namespace ddoshield::core {
+
+void to_design_matrix(const features::FeatureMatrix& fm, ml::DesignMatrix& x,
+                      std::vector<int>& y) {
+  x = ml::DesignMatrix{features::kFeatureCount};
+  x.reserve(fm.rows.size());
+  for (const auto& row : fm.rows) x.add_row(row);
+  y = fm.labels;
+}
+
+GenerationResult run_generation(const Scenario& scenario) {
+  Testbed testbed{scenario};
+  testbed.deploy();
+  testbed.record_dataset();
+
+  GenerationResult result;
+  // Track peak bot count with a coarse sampler.
+  const util::SimTime step = util::SimTime::seconds(1);
+  for (util::SimTime t = step; t <= scenario.duration; t += step) {
+    testbed.run_until(t);
+    result.peak_connected_bots = std::max(result.peak_connected_bots, testbed.connected_bots());
+  }
+  testbed.run();  // finalize
+
+  result.infected_devices = testbed.infected_devices();
+  result.dataset = std::move(testbed.dataset());
+  return result;
+}
+
+const ml::Classifier& TrainedModels::get(const std::string& name) const {
+  const auto it = models.find(name);
+  if (it == models.end()) throw std::invalid_argument("TrainedModels: no model " + name);
+  return *it->second;
+}
+
+const ModelReport& TrainedModels::report_of(const std::string& name) const {
+  for (const auto& r : reports) {
+    if (r.model == name) return r;
+  }
+  throw std::invalid_argument("TrainedModels: no report for " + name);
+}
+
+TrainedModels train_all_models(const capture::Dataset& dataset, TrainingOptions options) {
+  if (dataset.empty()) throw std::invalid_argument("train_all_models: empty dataset");
+
+  features::AggregatorConfig agg_cfg;
+  agg_cfg.window = options.window;
+  const features::FeatureMatrix fm = features::extract_features(dataset, agg_cfg);
+
+  ml::DesignMatrix x;
+  std::vector<int> y;
+  to_design_matrix(fm, x, y);
+
+  util::Rng split_rng{options.split_seed};
+  const ml::TrainTestSplit split = ml::train_test_split(x, y, options.test_fraction, split_rng);
+
+  TrainedModels out;
+  out.models.emplace("rf", std::make_unique<ml::RandomForest>());
+  out.models.emplace("kmeans", std::make_unique<ml::KMeansDetector>());
+  out.models.emplace("cnn", std::make_unique<ml::Cnn1D>());
+
+  for (auto& [name, model] : out.models) {
+    ModelReport report;
+    report.model = name;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    model->fit(split.train_x, split.train_y);
+    const auto t1 = std::chrono::steady_clock::now();
+    report.fit_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+    const std::vector<int> train_pred = model->predict_batch(split.train_x);
+    report.train.add_all(split.train_y, train_pred);
+    const std::vector<int> test_pred = model->predict_batch(split.test_x);
+    report.test.add_all(split.test_y, test_pred);
+
+    report.model_file_bytes = ml::serialize_model(*model).size();
+    out.reports.push_back(std::move(report));
+  }
+  return out;
+}
+
+void SkewServedClassifier::fit(const ml::DesignMatrix&, const std::vector<int>&) {
+  throw std::logic_error("SkewServedClassifier: serving adapter only; fit the inner model");
+}
+
+void SkewServedClassifier::load(util::ByteReader&) {
+  throw std::logic_error("SkewServedClassifier: serving adapter only; load the inner model");
+}
+
+int SkewServedClassifier::predict(std::span<const double> row) const {
+  if (row.size() != features::kFeatureCount) {
+    throw std::invalid_argument("SkewServedClassifier: wrong feature width");
+  }
+  features::FeatureRow offline{};
+  std::copy(row.begin(), row.end(), offline.begin());
+  const features::FeatureRow streaming = features::to_streaming_order(offline);
+  return inner_.predict(streaming);
+}
+
+DetectionResult run_detection(const Scenario& scenario, const ml::Classifier& model,
+                              ids::IdsConfig ids_config) {
+  Testbed testbed{scenario};
+  testbed.deploy();
+  ids::RealTimeIds& ids = testbed.deploy_ids(model, ids_config);
+  testbed.run();
+
+  DetectionResult result;
+  result.model = model.name();
+  result.summary = ids.summarize();
+  result.windows = ids.reports();
+  result.model_size_kb = static_cast<double>(ml::serialize_model(model).size()) / 1024.0;
+  return result;
+}
+
+}  // namespace ddoshield::core

@@ -1,0 +1,79 @@
+#include "core/scenario.hpp"
+
+#include <stdexcept>
+
+namespace ddoshield::core {
+
+using botnet::AttackType;
+using util::SimTime;
+
+void schedule_attack_cycle(Scenario& scenario, SimTime from, SimTime until, SimTime burst,
+                           SimTime gap, const std::vector<AttackType>& types,
+                           double pps_per_bot) {
+  if (types.empty()) throw std::invalid_argument("schedule_attack_cycle: no attack types");
+  if (burst <= SimTime{}) throw std::invalid_argument("schedule_attack_cycle: bad burst");
+  SimTime t = from;
+  std::size_t i = 0;
+  while (t < until) {
+    AttackBurst ab;
+    ab.start = t;
+    ab.type = types[i % types.size()];
+    ab.duration = burst;
+    ab.packets_per_second_per_bot = pps_per_bot;
+    scenario.attacks.push_back(ab);
+    t = t + burst + gap;
+    ++i;
+  }
+}
+
+Scenario training_scenario(std::uint64_t seed) {
+  Scenario s;
+  s.seed = seed;
+  s.device_count = 8;
+  s.duration = SimTime::seconds(120);  // the paper's 10 min, time-scaled 5x
+  s.infection_start = SimTime::seconds(1);
+  // The training dataset is exported from the capture with *absolute*
+  // (wall-clock) timestamps, exactly like a tshark/Wireshark CSV export.
+  s.capture_clock_offset = SimTime::seconds(1000);
+  // Near-continuous attacks while the campaign runs: every window in
+  // [12s, 100s) holds a benign/malicious mix, so the window statistics
+  // reflect "attack present" regimes of varying type and intensity. The
+  // campaign is torn down before the capture stops, so the recording ends
+  // with a benign-only tail — as a real collection run does.
+  schedule_attack_cycle(s, SimTime::seconds(12), s.duration - SimTime::seconds(30),
+                        SimTime::seconds(8),
+                        SimTime::seconds(0),
+                        {AttackType::kSynFlood, AttackType::kAckFlood, AttackType::kUdpFlood},
+                        120.0);
+  return s;
+}
+
+Scenario detection_scenario(std::uint64_t seed) {
+  Scenario s;
+  s.seed = seed;
+  s.device_count = 8;
+  s.duration = SimTime::seconds(60);  // the paper's 5 min, time-scaled 5x
+  s.infection_start = SimTime::seconds(1);
+  // The real-time IDS stamps packets with time-since-IDS-start (offset 0):
+  // the classic train/serve timestamp skew against the absolute-clock
+  // training export above. Models whose pipeline standardises and clamps
+  // features to the training support (K-Means, CNN) are immune; a model
+  // consuming raw features (Random Forest — trees need no scaling) routes
+  // every out-of-range timestamp toward the earliest-era leaves, which the
+  // pre-infection prefix of the training capture made benign. This is the
+  // reproduction's mechanism for Table I; see EXPERIMENTS.md (E3).
+  s.capture_clock_offset = SimTime::seconds(0);
+  // The real-time run is not the training run: attacks come in bursts with
+  // quiet gaps, so many windows hold a single traffic class — the regime
+  // §IV-D describes — and the burst schedule occupies different times than
+  // the training capture's. Any model that leaned on the absolute
+  // timestamp or on window-identity statistics at training time now sees
+  // "noise" (the paper's own diagnosis of the real-time accuracy drops).
+  schedule_attack_cycle(s, SimTime::seconds(12), s.duration, SimTime::seconds(6),
+                        SimTime::seconds(8),
+                        {AttackType::kSynFlood, AttackType::kAckFlood, AttackType::kUdpFlood},
+                        120.0);
+  return s;
+}
+
+}  // namespace ddoshield::core

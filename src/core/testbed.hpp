@@ -1,0 +1,145 @@
+// The DDoShield-IoT testbed (Fig. 1).
+//
+// Wires the whole system from a Scenario: the simulated network (star of
+// device/attacker access links into a router uplinked to the TServer), one
+// container per role bridged onto its node, the TServer's three benign-
+// traffic servers (Apache/Nginx-RTMP/FTP roles), per-device benign clients
+// and the vulnerable telnet daemon, the Mirai pipeline (scanner → loader →
+// bot agents → C2), scheduled attack bursts, optional device churn, a
+// capture tap on the TServer, and (optionally) the real-time IDS container.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/ftp.hpp"
+#include "apps/http.hpp"
+#include "apps/telemetry.hpp"
+#include "apps/video.hpp"
+#include "botnet/bot.hpp"
+#include "botnet/c2.hpp"
+#include "botnet/scanner.hpp"
+#include "botnet/telnet_service.hpp"
+#include "capture/dataset.hpp"
+#include "capture/tap.hpp"
+#include "container/runtime.hpp"
+#include "core/scenario.hpp"
+#include "ids/realtime_ids.hpp"
+#include "ml/classifier.hpp"
+#include "net/network.hpp"
+
+namespace ddoshield::core {
+
+/// Per-second victim-side throughput sample, for the DDoSim-substrate
+/// experiments (E6).
+struct ThroughputSample {
+  util::SimTime at;
+  double benign_goodput_bps = 0.0;   // application bytes served to clients
+  double uplink_rx_bps = 0.0;        // everything arriving at the TServer
+  std::size_t connected_bots = 0;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(Scenario scenario);
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  /// Builds topology, containers, and apps, and schedules the scenario's
+  /// infection, attacks, and churn. Must be called exactly once.
+  void deploy();
+
+  /// Starts collecting every tapped packet into dataset().
+  void record_dataset();
+
+  /// Deploys the real-time IDS container with a trained model.
+  /// Must be called after deploy() and before run_until the traffic of
+  /// interest. Returns the IDS for report access.
+  ids::RealTimeIds& deploy_ids(const ml::Classifier& model, ids::IdsConfig config = {});
+
+  /// Runs the simulation to the given absolute time.
+  void run_until(util::SimTime t);
+  /// Runs the full scenario duration and stops all containers.
+  void run();
+
+  // --- access ---------------------------------------------------------------
+  net::Network& network() { return net_; }
+  container::ContainerRuntime& runtime() { return runtime_; }
+  const net::StarTopology& topology() const { return topo_; }
+  capture::PacketTap& tap() { return *tap_; }
+  capture::Dataset& dataset() { return dataset_; }
+  const Scenario& scenario() const { return scenario_; }
+
+  botnet::C2Server& c2() { return *c2_; }
+  std::size_t infected_devices() const;
+  std::size_t connected_bots() const { return c2_ ? c2_->connected_bots() : 0; }
+
+  apps::HttpServer& http_server() { return *http_server_; }
+  apps::VideoServer& video_server() { return *video_server_; }
+  apps::FtpServer& ftp_server() { return *ftp_server_; }
+  /// Present only when the scenario enables telemetry traffic.
+  apps::TelemetryBroker* telemetry_broker() { return telemetry_broker_.get(); }
+
+  /// Total benign application bytes delivered to device clients so far.
+  std::uint64_t benign_bytes_delivered() const;
+  /// Benign requests/downloads that failed (timeouts, resets) so far.
+  std::uint64_t benign_failures() const;
+  std::uint64_t benign_completions() const;
+
+  const std::vector<ThroughputSample>& throughput_series() const { return throughput_; }
+  /// Enables periodic throughput sampling (E6); call before run().
+  void sample_throughput_every(util::SimTime interval);
+
+ private:
+  void build_containers();
+  void start_benign_apps();
+  void start_botnet();
+  void schedule_attacks();
+  void schedule_churn();
+  void churn_tick();
+  void throughput_tick();
+  void install_bot(std::size_t device_index);
+
+  Scenario scenario_;
+  util::Rng churn_rng_{0};
+  util::SimTime throughput_interval_;
+  net::Network net_;
+  net::StarTopology topo_;
+  container::ContainerRuntime runtime_;
+  bool deployed_ = false;
+
+  std::unique_ptr<capture::PacketTap> tap_;
+  capture::Dataset dataset_;
+  bool recording_ = false;
+
+  // TServer apps.
+  std::unique_ptr<apps::HttpServer> http_server_;
+  std::unique_ptr<apps::VideoServer> video_server_;
+  std::unique_ptr<apps::FtpServer> ftp_server_;
+  std::unique_ptr<apps::TelemetryBroker> telemetry_broker_;
+
+  // Device apps (index-aligned with topology().devices).
+  std::vector<std::unique_ptr<apps::HttpClient>> http_clients_;
+  std::vector<std::unique_ptr<apps::VideoClient>> video_clients_;
+  std::vector<std::unique_ptr<apps::FtpClient>> ftp_clients_;
+  std::vector<std::unique_ptr<apps::TelemetrySensor>> telemetry_sensors_;
+  std::vector<std::unique_ptr<botnet::TelnetService>> telnet_services_;
+  std::vector<std::unique_ptr<botnet::BotAgent>> bots_;
+
+  // Attacker apps.
+  std::unique_ptr<botnet::C2Server> c2_;
+  std::unique_ptr<botnet::Scanner> scanner_;
+  std::unique_ptr<botnet::Loader> loader_;
+
+  // IDS.
+  std::unique_ptr<ids::RealTimeIds> ids_;
+
+  std::vector<ThroughputSample> throughput_;
+  std::uint64_t last_benign_bytes_ = 0;
+  std::uint64_t last_uplink_rx_bytes_ = 0;
+};
+
+}  // namespace ddoshield::core

@@ -1,0 +1,68 @@
+#include "features/extractor.hpp"
+
+#include <stdexcept>
+
+namespace ddoshield::features {
+
+FeatureAggregator::FeatureAggregator(AggregatorConfig config) : config_{config} {
+  if (config_.window <= util::SimTime{}) {
+    throw std::invalid_argument("FeatureAggregator: window must be positive");
+  }
+}
+
+void FeatureAggregator::add(const capture::PacketRecord& record) {
+  const auto window_of = [this](util::SimTime t) {
+    return static_cast<std::uint64_t>(t.ns() / config_.window.ns());
+  };
+  const std::uint64_t w = window_of(record.timestamp);
+  if (!have_window_) {
+    current_window_ = w;
+    have_window_ = true;
+  } else if (w != current_window_) {
+    if (w < current_window_) {
+      throw std::invalid_argument("FeatureAggregator::add: packets out of order");
+    }
+    close_window();
+    current_window_ = w;
+  }
+  buffer_.push_back(record);
+}
+
+void FeatureAggregator::flush() {
+  if (!buffer_.empty()) close_window();
+  have_window_ = false;
+}
+
+void FeatureAggregator::close_window() {
+  if (buffer_.empty()) return;
+  WindowOutput out;
+  out.window_index = current_window_;
+  out.window_start =
+      util::SimTime::nanos(static_cast<std::int64_t>(current_window_) * config_.window.ns());
+  out.stats = compute_window_stats(buffer_, config_.window);
+  out.rows.reserve(buffer_.size());
+  out.labels.reserve(buffer_.size());
+  for (const auto& r : buffer_) {
+    out.rows.push_back(make_feature_row(r, out.stats));
+    out.labels.push_back(r.is_malicious() ? 1 : 0);
+  }
+  buffer_.clear();
+  ++windows_emitted_;
+  if (on_window_) on_window_(out);
+}
+
+FeatureMatrix extract_features(const capture::Dataset& dataset, AggregatorConfig config) {
+  FeatureMatrix matrix;
+  matrix.rows.reserve(dataset.size());
+  matrix.labels.reserve(dataset.size());
+  FeatureAggregator agg{config};
+  agg.set_on_window([&matrix](const WindowOutput& out) {
+    matrix.rows.insert(matrix.rows.end(), out.rows.begin(), out.rows.end());
+    matrix.labels.insert(matrix.labels.end(), out.labels.begin(), out.labels.end());
+  });
+  for (const auto& r : dataset.records()) agg.add(r);
+  agg.flush();
+  return matrix;
+}
+
+}  // namespace ddoshield::features

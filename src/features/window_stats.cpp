@@ -1,0 +1,109 @@
+#include "features/window_stats.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "net/packet.hpp"
+#include "util/stats.hpp"
+
+namespace ddoshield::features {
+
+void WindowStats::fill_row(FeatureRow& row) const {
+  row[kWinPacketCount] = static_cast<double>(packet_count);
+  row[kWinByteRate] = byte_rate;
+  row[kWinDstPortEntropy] = dst_port_entropy;
+  row[kWinSrcAddrEntropy] = src_addr_entropy;
+  row[kWinSynNoAckRatio] = syn_no_ack_ratio;
+  row[kWinShortLivedFlows] = short_lived_flows;
+  row[kWinRepeatedAttempts] = repeated_attempts;
+  row[kWinSeqVarianceLog] = seq_variance_log;
+  row[kWinMeanPayload] = mean_payload;
+  row[kWinUdpFraction] = udp_fraction;
+}
+
+WindowStats compute_window_stats(std::span<const capture::PacketRecord> packets,
+                                 util::SimTime window_duration) {
+  if (window_duration <= util::SimTime{}) {
+    throw std::invalid_argument("compute_window_stats: window duration must be positive");
+  }
+  WindowStats stats;
+  if (packets.empty()) return stats;
+
+  util::FrequencyCounter dst_ports;
+  util::FrequencyCounter src_addrs;
+  util::OnlineStats seq_stats;
+  util::OnlineStats payload_stats;
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint16_t, std::uint16_t, std::uint8_t>,
+           std::uint32_t>
+      flow_packets;
+  std::map<std::tuple<std::uint32_t, std::uint16_t>, std::uint32_t> syn_per_src_dport;
+
+  std::uint64_t total_bytes = 0;
+  std::uint64_t tcp_packets = 0;
+  std::uint64_t udp_packets = 0;
+  std::uint64_t syn_no_ack = 0;
+
+  for (const auto& r : packets) {
+    total_bytes += r.wire_bytes;
+    dst_ports.add(r.dst_port);
+    src_addrs.add(r.src_addr);
+    payload_stats.add(static_cast<double>(r.payload_bytes));
+    ++flow_packets[{r.src_addr, r.dst_addr, r.src_port, r.dst_port, r.protocol}];
+
+    if (r.is_tcp()) {
+      ++tcp_packets;
+      seq_stats.add(static_cast<double>(r.seq));
+      const bool syn = r.has_flag(net::TcpFlags::kSyn);
+      const bool ack = r.has_flag(net::TcpFlags::kAck);
+      if (syn && !ack) {
+        ++syn_no_ack;
+        ++syn_per_src_dport[{r.src_addr, r.dst_port}];
+      }
+    } else if (r.is_udp()) {
+      ++udp_packets;
+    }
+  }
+
+  stats.packet_count = packets.size();
+  stats.byte_rate = static_cast<double>(total_bytes) / window_duration.to_seconds();
+  stats.dst_port_entropy = dst_ports.entropy();
+  stats.src_addr_entropy = src_addrs.entropy();
+  stats.syn_no_ack_ratio =
+      tcp_packets == 0 ? 0.0 : static_cast<double>(syn_no_ack) / static_cast<double>(tcp_packets);
+
+  std::uint64_t short_lived = 0;
+  for (const auto& [key, count] : flow_packets) short_lived += count <= 2;
+  stats.short_lived_flows = static_cast<double>(short_lived);
+
+  std::uint64_t repeated = 0;
+  for (const auto& [key, syns] : syn_per_src_dport) repeated += syns >= 3;
+  stats.repeated_attempts = static_cast<double>(repeated);
+
+  stats.seq_variance_log = std::log10(1.0 + seq_stats.variance());
+  stats.mean_payload = payload_stats.mean();
+  stats.udp_fraction = packets.empty()
+                           ? 0.0
+                           : static_cast<double>(udp_packets) / static_cast<double>(packets.size());
+  return stats;
+}
+
+void fill_basic_features(const capture::PacketRecord& record, FeatureRow& row) {
+  row[kTimestamp] = record.timestamp.to_seconds();
+  row[kSrcAddr] = static_cast<double>(record.src_addr) / 4294967296.0;
+  row[kDstAddr] = static_cast<double>(record.dst_addr) / 4294967296.0;
+  row[kProtoIsTcp] = record.is_tcp() ? 1.0 : 0.0;
+  row[kSrcPort] = static_cast<double>(record.src_port) / 65535.0;
+  row[kDstPort] = static_cast<double>(record.dst_port) / 65535.0;
+  row[kPayloadBytes] = static_cast<double>(record.payload_bytes);
+}
+
+FeatureRow make_feature_row(const capture::PacketRecord& record, const WindowStats& stats) {
+  FeatureRow row{};
+  fill_basic_features(record, row);
+  stats.fill_row(row);
+  return row;
+}
+
+}  // namespace ddoshield::features

@@ -1,0 +1,130 @@
+#include "ids/realtime_ids.hpp"
+
+#include <algorithm>
+
+#include "features/schema.hpp"
+
+namespace ddoshield::ids {
+
+using util::SimTime;
+
+RealTimeIds::RealTimeIds(container::Container& owner, util::Rng rng,
+                         const ml::Classifier& model, IdsConfig config)
+    : App{owner, "realtime-ids", rng}, model_{model}, config_{config} {
+  if (!model_.trained()) {
+    throw std::invalid_argument("RealTimeIds: model must be trained before deployment");
+  }
+  if (config_.window <= SimTime{}) {
+    throw std::invalid_argument("RealTimeIds: window must be positive");
+  }
+}
+
+void RealTimeIds::attach_tap(capture::PacketTap& tap) {
+  tap.add_sink([this](const capture::PacketRecord& r) {
+    if (running()) on_record(r);
+  });
+}
+
+void RealTimeIds::on_start() {
+  current_window_ = static_cast<std::uint64_t>(sim().now().ns() / config_.window.ns());
+  schedule_tick();
+}
+
+void RealTimeIds::on_stop() { flush(); }
+
+void RealTimeIds::schedule_tick() {
+  // Fire exactly at the next window boundary.
+  const std::int64_t next_edge =
+      (static_cast<std::int64_t>(current_window_) + 1) * config_.window.ns();
+  schedule(SimTime::nanos(next_edge) - sim().now(), [this] {
+    close_window();
+    ++current_window_;
+    schedule_tick();
+  });
+}
+
+void RealTimeIds::on_record(const capture::PacketRecord& record) {
+  buffer_.push_back(record);
+  buffer_peak_bytes_ = std::max<std::uint64_t>(
+      buffer_peak_bytes_, buffer_.capacity() * sizeof(capture::PacketRecord));
+}
+
+void RealTimeIds::close_window() {
+  if (buffer_.empty()) return;
+
+  WindowReport report;
+  report.window_index = current_window_;
+  report.window_start =
+      SimTime::nanos(static_cast<std::int64_t>(current_window_) * config_.window.ns());
+  report.packets = buffer_.size();
+
+  // --- preprocessing: statistical features over the window (measured) -----
+  features::WindowStats stats;
+  std::vector<features::FeatureRow> rows;
+  {
+    ScopedCpuTimer timer{report.cpu_feature_ns};
+    stats = features::compute_window_stats(buffer_, config_.window);
+    rows.reserve(buffer_.size());
+    for (const auto& r : buffer_) rows.push_back(features::make_feature_row(r, stats));
+  }
+
+  // --- detection: model inference over every row (measured) ----------------
+  ml::ConfusionMatrix window_cm;
+  {
+    ScopedCpuTimer timer{report.cpu_inference_ns};
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const int truth = buffer_[i].is_malicious() ? 1 : 0;
+      const int predicted = model_.predict(rows[i]);
+      window_cm.add(truth, predicted);
+      confusion_.add(truth, predicted);
+    }
+  }
+
+  report.truth_malicious = window_cm.tp() + window_cm.fn();
+  report.predicted_malicious = window_cm.tp() + window_cm.fp();
+  report.accuracy = window_cm.accuracy();
+  report.single_class =
+      report.truth_malicious == 0 || report.truth_malicious == report.packets;
+  reports_.push_back(report);
+
+  buffer_.clear();
+}
+
+void RealTimeIds::flush() {
+  if (!buffer_.empty()) close_window();
+}
+
+IdsSummary RealTimeIds::summarize() const {
+  IdsSummary s;
+  s.windows = reports_.size();
+  s.confusion = confusion_;
+  if (reports_.empty()) return s;
+
+  double cpu_fraction_sum = 0.0;
+  double accuracy_sum = 0.0;
+  for (const auto& r : reports_) {
+    accuracy_sum += r.accuracy;
+    s.min_accuracy = std::min(s.min_accuracy, r.accuracy);
+    s.packets += r.packets;
+    const double work_ns =
+        config_.meter.per_window_overhead_ms * 1e6 +
+        static_cast<double>(r.cpu_feature_ns) * config_.meter.feature_slowdown +
+        static_cast<double>(r.cpu_inference_ns) * config_.meter.inference_slowdown;
+    cpu_fraction_sum += work_ns / static_cast<double>(config_.window.ns());
+  }
+  s.average_accuracy = accuracy_sum / static_cast<double>(reports_.size());
+  s.overall_accuracy = confusion_.accuracy();
+  s.cpu_percent =
+      100.0 * std::min(1.0, cpu_fraction_sum / static_cast<double>(reports_.size()));
+
+  const double scratch =
+      static_cast<double>(model_.inference_scratch_bytes()) *
+      static_cast<double>(config_.meter.inference_chunk);
+  const double row_buffer =
+      static_cast<double>(config_.meter.inference_chunk) *
+      static_cast<double>(sizeof(features::FeatureRow));
+  s.memory_kb = (static_cast<double>(buffer_peak_bytes_) + scratch + row_buffer) / 1024.0;
+  return s;
+}
+
+}  // namespace ddoshield::ids

@@ -1,0 +1,88 @@
+// The Real-Time IDS Unit (Fig. 2): monitor → preprocess → detect.
+//
+// Runs as an app inside the IDS container. A PacketTap on the victim
+// feeds it records; a periodic simulator timer closes each time window
+// (1 s by default, user-configurable per §III-B); at window close the IDS
+// computes the statistical features, stamps them onto each packet's basic
+// features, runs the loaded model over every row, and records a
+// per-window report with the window's accuracy — the quantity Table I
+// averages and §IV-D's per-second analysis plots.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "capture/packet_record.hpp"
+#include "capture/tap.hpp"
+#include "features/window_stats.hpp"
+#include "ids/resource_meter.hpp"
+#include "ml/classifier.hpp"
+#include "ml/metrics.hpp"
+
+namespace ddoshield::ids {
+
+/// One closed detection window.
+struct WindowReport {
+  std::uint64_t window_index = 0;
+  util::SimTime window_start;
+  std::uint64_t packets = 0;
+  std::uint64_t truth_malicious = 0;
+  std::uint64_t predicted_malicious = 0;
+  double accuracy = 0.0;
+  bool single_class = false;  // only one truth class present (§IV-D caveat)
+  std::uint64_t cpu_feature_ns = 0;   // measured statistical-feature cost
+  std::uint64_t cpu_inference_ns = 0; // measured model cost
+};
+
+struct IdsSummary {
+  double average_accuracy = 0.0;   // mean of per-window accuracies (Table I)
+  double min_accuracy = 1.0;       // the boundary-dip metric (§IV-D)
+  double overall_accuracy = 0.0;   // packet-weighted, for reference
+  std::uint64_t windows = 0;
+  std::uint64_t packets = 0;
+  double cpu_percent = 0.0;        // Table II CPU (%)
+  double memory_kb = 0.0;          // Table II Memory (Kb)
+  ml::ConfusionMatrix confusion;   // accumulated over all windows
+};
+
+struct IdsConfig {
+  util::SimTime window = util::SimTime::seconds(1);
+  ResourceMeterConfig meter;
+};
+
+class RealTimeIds : public apps::App {
+ public:
+  /// The model must already be trained (loaded from its model file).
+  RealTimeIds(container::Container& owner, util::Rng rng, const ml::Classifier& model,
+              IdsConfig config = {});
+
+  /// Connects the IDS to a capture tap (typically on the TServer).
+  void attach_tap(capture::PacketTap& tap);
+
+  const std::vector<WindowReport>& reports() const { return reports_; }
+  IdsSummary summarize() const;
+
+  /// Closes the current partial window (end of run).
+  void flush();
+
+ protected:
+  void on_start() override;
+  void on_stop() override;
+
+ private:
+  void on_record(const capture::PacketRecord& record);
+  void close_window();
+  void schedule_tick();
+
+  const ml::Classifier& model_;
+  IdsConfig config_;
+  std::vector<capture::PacketRecord> buffer_;
+  std::uint64_t buffer_peak_bytes_ = 0;
+  std::uint64_t current_window_ = 0;
+  std::vector<WindowReport> reports_;
+  ml::ConfusionMatrix confusion_;
+};
+
+}  // namespace ddoshield::ids

@@ -1,0 +1,12 @@
+#include "ml/classifier.hpp"
+
+namespace ddoshield::ml {
+
+std::vector<int> Classifier::predict_batch(const DesignMatrix& x) const {
+  std::vector<int> out;
+  out.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out.push_back(predict(x.row(i)));
+  return out;
+}
+
+}  // namespace ddoshield::ml

@@ -1,0 +1,49 @@
+// Abstract classifier interface implemented by RandomForest, KMeansDetector,
+// and Cnn1D. Mirrors the role scikit-learn / TensorFlow models play in the
+// paper's IDS: fit on a labelled matrix, predict per row, persist to a
+// model file (the paper's PKL), and report the resource figures Table II
+// needs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/design_matrix.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace ddoshield::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Stable identifier used in reports and model files ("rf", "kmeans",
+  /// "cnn").
+  virtual std::string name() const = 0;
+
+  /// Trains on (X, y). Models fit their internal StandardScaler here, so
+  /// callers always pass raw (unscaled) features.
+  virtual void fit(const DesignMatrix& x, const std::vector<int>& y) = 0;
+
+  /// Predicts the class (0 benign / 1 malicious) of one raw feature row.
+  virtual int predict(std::span<const double> row) const = 0;
+
+  std::vector<int> predict_batch(const DesignMatrix& x) const;
+
+  virtual bool trained() const = 0;
+
+  // --- persistence (the PKL role) ------------------------------------------
+  virtual void save(util::ByteWriter& w) const = 0;
+  virtual void load(util::ByteReader& r) = 0;
+
+  // --- resource reporting (Table II) ---------------------------------------
+  /// Bytes of model parameters resident during inference.
+  virtual std::uint64_t parameter_bytes() const = 0;
+  /// Bytes of scratch memory one predict() call touches.
+  virtual std::uint64_t inference_scratch_bytes() const = 0;
+};
+
+}  // namespace ddoshield::ml

@@ -1,0 +1,369 @@
+#include "ml/cnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddoshield::ml {
+
+// Parameter layouts:
+//   conv_w_[f * kernel + k]           — filter f, tap k (same padding)
+//   dense1_w_[h * flat + i]           — hidden unit h, flattened input i
+//   dense2_w_[c * hidden + h]         — class c, hidden unit h
+// Flattened conv output index: f * pooled_length() + p.
+
+namespace {
+
+/// Adam state for one parameter tensor.
+struct AdamState {
+  std::vector<double> m;
+  std::vector<double> v;
+  explicit AdamState(std::size_t n) : m(n, 0.0), v(n, 0.0) {}
+};
+
+void adam_step(std::vector<double>& params, const std::vector<double>& grads, AdamState& state,
+               const CnnConfig& cfg, double lr_t) {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    state.m[i] = cfg.beta1 * state.m[i] + (1.0 - cfg.beta1) * grads[i];
+    state.v[i] = cfg.beta2 * state.v[i] + (1.0 - cfg.beta2) * grads[i] * grads[i];
+    params[i] -= lr_t * state.m[i] / (std::sqrt(state.v[i]) + 1e-8);
+  }
+}
+
+}  // namespace
+
+Cnn1D::Cnn1D(CnnConfig config) : config_{config} {
+  if (config_.kernel % 2 == 0) {
+    throw std::invalid_argument("Cnn1D: kernel must be odd (same padding)");
+  }
+  if (config_.filters == 0 || config_.hidden == 0) {
+    throw std::invalid_argument("Cnn1D: filters and hidden must be > 0");
+  }
+}
+
+void Cnn1D::forward(std::span<const double> scaled, Activations& act) const {
+  const std::size_t d = input_dim_;
+  const std::size_t f_count = config_.filters;
+  const std::size_t k = config_.kernel;
+  const std::size_t half = k / 2;
+  const std::size_t p_len = pooled_length();
+  const std::size_t flat = flat_size();
+  const std::size_t h_count = config_.hidden;
+
+  act.input.assign(scaled.begin(), scaled.end());
+  act.conv.assign(f_count * d, 0.0);
+  act.relu1.assign(f_count * d, 0.0);
+  act.pooled.assign(f_count * p_len, 0.0);
+  act.pool_argmax.assign(f_count * p_len, 0);
+  act.dense1.assign(h_count, 0.0);
+  act.relu2.assign(h_count, 0.0);
+  act.logits.assign(2, 0.0);
+  act.probs.assign(2, 0.0);
+
+  // Conv1D, same padding.
+  for (std::size_t f = 0; f < f_count; ++f) {
+    for (std::size_t i = 0; i < d; ++i) {
+      double sum = conv_b_[f];
+      for (std::size_t t = 0; t < k; ++t) {
+        const std::int64_t src = static_cast<std::int64_t>(i + t) - static_cast<std::int64_t>(half);
+        if (src >= 0 && src < static_cast<std::int64_t>(d)) {
+          sum += conv_w_[f * k + t] * scaled[static_cast<std::size_t>(src)];
+        }
+      }
+      act.conv[f * d + i] = sum;
+      act.relu1[f * d + i] = sum > 0.0 ? sum : 0.0;
+    }
+  }
+
+  // MaxPool(2) with argmax memo for backprop.
+  for (std::size_t f = 0; f < f_count; ++f) {
+    for (std::size_t p = 0; p < p_len; ++p) {
+      const std::size_t i0 = 2 * p;
+      const std::size_t i1 = std::min(i0 + 1, d - 1);
+      const double v0 = act.relu1[f * d + i0];
+      const double v1 = act.relu1[f * d + i1];
+      if (v0 >= v1) {
+        act.pooled[f * p_len + p] = v0;
+        act.pool_argmax[f * p_len + p] = f * d + i0;
+      } else {
+        act.pooled[f * p_len + p] = v1;
+        act.pool_argmax[f * p_len + p] = f * d + i1;
+      }
+    }
+  }
+
+  // Dense(hidden) + ReLU.
+  for (std::size_t h = 0; h < h_count; ++h) {
+    double sum = dense1_b_[h];
+    const double* w = &dense1_w_[h * flat];
+    for (std::size_t i = 0; i < flat; ++i) sum += w[i] * act.pooled[i];
+    act.dense1[h] = sum;
+    act.relu2[h] = sum > 0.0 ? sum : 0.0;
+  }
+
+  // Dense(2) + softmax.
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = dense2_b_[c];
+    const double* w = &dense2_w_[c * h_count];
+    for (std::size_t h = 0; h < h_count; ++h) sum += w[h] * act.relu2[h];
+    act.logits[c] = sum;
+  }
+  const double mx = std::max(act.logits[0], act.logits[1]);
+  const double e0 = std::exp(act.logits[0] - mx);
+  const double e1 = std::exp(act.logits[1] - mx);
+  act.probs[0] = e0 / (e0 + e1);
+  act.probs[1] = e1 / (e0 + e1);
+}
+
+void Cnn1D::initialize(std::size_t input_dim, const StandardScaler& scaler) {
+  if (!scaler.fitted() || scaler.mean().size() != input_dim) {
+    throw std::invalid_argument("Cnn1D::initialize: scaler does not match input width");
+  }
+  util::Rng rng{config_.seed};
+  input_dim_ = input_dim;
+  scaler_ = scaler;
+
+  const std::size_t k = config_.kernel;
+  const std::size_t flat = flat_size();
+  auto he_init = [&rng](std::vector<double>& w, std::size_t fan_in) {
+    const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+    for (double& v : w) v = rng.normal(0.0, stddev);
+  };
+  conv_w_.assign(config_.filters * k, 0.0);
+  conv_b_.assign(config_.filters, 0.0);
+  dense1_w_.assign(config_.hidden * flat, 0.0);
+  dense1_b_.assign(config_.hidden, 0.0);
+  dense2_w_.assign(2 * config_.hidden, 0.0);
+  dense2_b_.assign(2, 0.0);
+  he_init(conv_w_, k);
+  he_init(dense1_w_, flat);
+  he_init(dense2_w_, config_.hidden);
+  trained_ = true;
+}
+
+std::vector<double> Cnn1D::parameters() const {
+  std::vector<double> flat;
+  flat.reserve(parameter_count());
+  for (const auto* block : {&conv_w_, &conv_b_, &dense1_w_, &dense1_b_, &dense2_w_, &dense2_b_}) {
+    flat.insert(flat.end(), block->begin(), block->end());
+  }
+  return flat;
+}
+
+void Cnn1D::set_parameters(std::span<const double> flat) {
+  if (flat.size() != parameter_count()) {
+    throw std::invalid_argument("Cnn1D::set_parameters: wrong length");
+  }
+  std::size_t pos = 0;
+  for (auto* block : {&conv_w_, &conv_b_, &dense1_w_, &dense1_b_, &dense2_w_, &dense2_b_}) {
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(pos),
+              flat.begin() + static_cast<std::ptrdiff_t>(pos + block->size()), block->begin());
+    pos += block->size();
+  }
+}
+
+void Cnn1D::fit(const DesignMatrix& x, const std::vector<int>& y) {
+  if (x.rows() != y.size()) throw std::invalid_argument("Cnn1D::fit: X/y mismatch");
+  if (x.empty()) throw std::invalid_argument("Cnn1D::fit: empty dataset");
+  StandardScaler scaler;
+  scaler.fit(x);
+  initialize(x.cols(), scaler);
+  train_epochs(x, y, config_.epochs);
+}
+
+void Cnn1D::train_epochs(const DesignMatrix& x, const std::vector<int>& y,
+                         std::size_t epochs) {
+  if (!trained_) throw std::logic_error("Cnn1D::train_epochs: initialize() or fit() first");
+  if (x.rows() != y.size()) throw std::invalid_argument("Cnn1D::train_epochs: X/y mismatch");
+  if (x.cols() != input_dim_) throw std::invalid_argument("Cnn1D::train_epochs: wrong width");
+  if (x.empty() || epochs == 0) return;
+
+  util::Rng rng{config_.seed ^ (0x9E3779B97F4A7C15ULL + ++train_calls_)};
+  DesignMatrix sub_raw;
+  std::vector<int> sub_y;
+  subsample(x, y, config_.max_training_rows, rng, sub_raw, sub_y);
+  const DesignMatrix data = scaler_.transform(sub_raw);
+  const std::size_t n = data.rows();
+
+  const std::size_t f_count = config_.filters;
+  const std::size_t k = config_.kernel;
+  const std::size_t flat = flat_size();
+  const std::size_t h_count = config_.hidden;
+  const std::size_t p_len = pooled_length();
+  const std::size_t d = input_dim_;
+  const std::size_t half = k / 2;
+
+  AdamState s_conv_w{conv_w_.size()}, s_conv_b{conv_b_.size()};
+  AdamState s_d1_w{dense1_w_.size()}, s_d1_b{dense1_b_.size()};
+  AdamState s_d2_w{dense2_w_.size()}, s_d2_b{dense2_b_.size()};
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  Activations act;
+  std::vector<double> g_conv_w(conv_w_.size()), g_conv_b(conv_b_.size());
+  std::vector<double> g_d1_w(dense1_w_.size()), g_d1_b(dense1_b_.size());
+  std::vector<double> g_d2_w(dense2_w_.size()), g_d2_b(dense2_b_.size());
+  std::vector<double> d_relu2(h_count), d_pooled(flat), d_relu1(f_count * d);
+
+  std::uint64_t step = 0;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < n; start += config_.batch_size) {
+      const std::size_t end = std::min(start + config_.batch_size, n);
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+
+      std::fill(g_conv_w.begin(), g_conv_w.end(), 0.0);
+      std::fill(g_conv_b.begin(), g_conv_b.end(), 0.0);
+      std::fill(g_d1_w.begin(), g_d1_w.end(), 0.0);
+      std::fill(g_d1_b.begin(), g_d1_b.end(), 0.0);
+      std::fill(g_d2_w.begin(), g_d2_w.end(), 0.0);
+      std::fill(g_d2_b.begin(), g_d2_b.end(), 0.0);
+
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t i = order[bi];
+        forward(data.row(i), act);
+        const int truth = sub_y[i] != 0 ? 1 : 0;
+
+        // dL/dlogits for softmax + cross-entropy.
+        double d_logits[2] = {act.probs[0], act.probs[1]};
+        d_logits[truth] -= 1.0;
+
+        // Dense2 gradients and back to relu2.
+        std::fill(d_relu2.begin(), d_relu2.end(), 0.0);
+        for (std::size_t c = 0; c < 2; ++c) {
+          g_d2_b[c] += d_logits[c];
+          double* gw = &g_d2_w[c * h_count];
+          const double* w = &dense2_w_[c * h_count];
+          for (std::size_t h = 0; h < h_count; ++h) {
+            gw[h] += d_logits[c] * act.relu2[h];
+            d_relu2[h] += d_logits[c] * w[h];
+          }
+        }
+
+        // ReLU2 and Dense1; back to pooled.
+        std::fill(d_pooled.begin(), d_pooled.end(), 0.0);
+        for (std::size_t h = 0; h < h_count; ++h) {
+          if (act.dense1[h] <= 0.0) continue;
+          const double dh = d_relu2[h];
+          g_d1_b[h] += dh;
+          double* gw = &g_d1_w[h * flat];
+          const double* w = &dense1_w_[h * flat];
+          for (std::size_t p = 0; p < flat; ++p) {
+            gw[p] += dh * act.pooled[p];
+            d_pooled[p] += dh * w[p];
+          }
+        }
+
+        // MaxPool backprop (route gradient to argmax), then ReLU1.
+        std::fill(d_relu1.begin(), d_relu1.end(), 0.0);
+        for (std::size_t p = 0; p < f_count * p_len; ++p) {
+          d_relu1[act.pool_argmax[p]] += d_pooled[p];
+        }
+
+        // Conv backprop.
+        for (std::size_t f = 0; f < f_count; ++f) {
+          for (std::size_t i2 = 0; i2 < d; ++i2) {
+            if (act.conv[f * d + i2] <= 0.0) continue;  // ReLU1 gate
+            const double dc = d_relu1[f * d + i2];
+            if (dc == 0.0) continue;
+            g_conv_b[f] += dc;
+            for (std::size_t t = 0; t < k; ++t) {
+              const std::int64_t src =
+                  static_cast<std::int64_t>(i2 + t) - static_cast<std::int64_t>(half);
+              if (src >= 0 && src < static_cast<std::int64_t>(d)) {
+                g_conv_w[f * k + t] += dc * act.input[static_cast<std::size_t>(src)];
+              }
+            }
+          }
+        }
+      }
+
+      // Average the batch gradients and take an Adam step.
+      for (double& g : g_conv_w) g *= inv_batch;
+      for (double& g : g_conv_b) g *= inv_batch;
+      for (double& g : g_d1_w) g *= inv_batch;
+      for (double& g : g_d1_b) g *= inv_batch;
+      for (double& g : g_d2_w) g *= inv_batch;
+      for (double& g : g_d2_b) g *= inv_batch;
+
+      ++step;
+      const double bias_correction =
+          std::sqrt(1.0 - std::pow(config_.beta2, static_cast<double>(step))) /
+          (1.0 - std::pow(config_.beta1, static_cast<double>(step)));
+      const double lr_t = config_.learning_rate * bias_correction;
+
+      adam_step(conv_w_, g_conv_w, s_conv_w, config_, lr_t);
+      adam_step(conv_b_, g_conv_b, s_conv_b, config_, lr_t);
+      adam_step(dense1_w_, g_d1_w, s_d1_w, config_, lr_t);
+      adam_step(dense1_b_, g_d1_b, s_d1_b, config_, lr_t);
+      adam_step(dense2_w_, g_d2_w, s_d2_w, config_, lr_t);
+      adam_step(dense2_b_, g_d2_b, s_d2_b, config_, lr_t);
+    }
+  }
+}
+
+std::vector<double> Cnn1D::predict_proba(std::span<const double> row) const {
+  if (!trained_) throw std::logic_error("Cnn1D::predict_proba: not trained");
+  const std::vector<double> scaled = scaler_.transform(row);
+  Activations act;
+  forward(scaled, act);
+  return act.probs;
+}
+
+int Cnn1D::predict(std::span<const double> row) const {
+  const auto probs = predict_proba(row);
+  return probs[1] > probs[0] ? 1 : 0;
+}
+
+void Cnn1D::save(util::ByteWriter& w) const {
+  scaler_.save(w);
+  w.put_u64(input_dim_);
+  w.put_u64(config_.filters);
+  w.put_u64(config_.kernel);
+  w.put_u64(config_.hidden);
+  w.put_f64_span(conv_w_);
+  w.put_f64_span(conv_b_);
+  w.put_f64_span(dense1_w_);
+  w.put_f64_span(dense1_b_);
+  w.put_f64_span(dense2_w_);
+  w.put_f64_span(dense2_b_);
+}
+
+void Cnn1D::load(util::ByteReader& r) {
+  scaler_.load(r);
+  input_dim_ = r.get_u64();
+  config_.filters = r.get_u64();
+  config_.kernel = r.get_u64();
+  config_.hidden = r.get_u64();
+  conv_w_ = r.get_f64_vector();
+  conv_b_ = r.get_f64_vector();
+  dense1_w_ = r.get_f64_vector();
+  dense1_b_ = r.get_f64_vector();
+  dense2_w_ = r.get_f64_vector();
+  dense2_b_ = r.get_f64_vector();
+  if (conv_w_.size() != config_.filters * config_.kernel ||
+      dense1_w_.size() != config_.hidden * flat_size() ||
+      dense2_w_.size() != 2 * config_.hidden) {
+    throw std::invalid_argument("Cnn1D::load: inconsistent model file");
+  }
+  trained_ = true;
+}
+
+std::size_t Cnn1D::parameter_count() const {
+  return conv_w_.size() + conv_b_.size() + dense1_w_.size() + dense1_b_.size() +
+         dense2_w_.size() + dense2_b_.size();
+}
+
+std::uint64_t Cnn1D::parameter_bytes() const { return parameter_count() * sizeof(double); }
+
+std::uint64_t Cnn1D::inference_scratch_bytes() const {
+  // All Activations buffers touched by one forward pass.
+  const std::size_t d = input_dim_;
+  const std::size_t doubles = d + 2 * config_.filters * d + 2 * config_.filters * pooled_length() +
+                              2 * config_.hidden + 4;
+  return doubles * sizeof(double) +
+         config_.filters * pooled_length() * sizeof(std::size_t);
+}
+
+}  // namespace ddoshield::ml

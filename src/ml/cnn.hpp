@@ -1,0 +1,98 @@
+// 1-D convolutional neural network (§III-B, the paper's TensorFlow model).
+//
+// Architecture over the feature vector treated as a length-D sequence:
+//   Conv1D(filters, kernel=3, same padding) → ReLU → MaxPool(2)
+//   → Flatten → Dense(hidden) → ReLU → Dense(2) → Softmax
+// trained with Adam on cross-entropy. Written from scratch: forward,
+// backward, and the optimiser live here; no external ML dependency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/preprocess.hpp"
+#include "util/rng.hpp"
+
+namespace ddoshield::ml {
+
+struct CnnConfig {
+  std::size_t filters = 8;
+  std::size_t kernel = 3;
+  std::size_t hidden = 1250;
+  std::size_t epochs = 4;
+  std::size_t batch_size = 64;
+  double learning_rate = 1e-3;
+  /// Adam moment decay rates.
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  /// Training subsample bound.
+  std::size_t max_training_rows = 30000;
+  std::uint64_t seed = 777;
+};
+
+class Cnn1D : public Classifier {
+ public:
+  explicit Cnn1D(CnnConfig config = {});
+
+  std::string name() const override { return "cnn"; }
+  void fit(const DesignMatrix& x, const std::vector<int>& y) override;
+  int predict(std::span<const double> row) const override;
+  bool trained() const override { return trained_; }
+
+  /// Class probabilities (softmax output) for one raw row.
+  std::vector<double> predict_proba(std::span<const double> row) const;
+
+  // --- federated-learning support (FedAvg over parameter vectors) ----------
+  /// Prepares an untrained network: fixes the input width and the shared
+  /// scaler, He-initialises the weights. After this the model is servable
+  /// (trained() == true) and train_epochs() refines it in place.
+  void initialize(std::size_t input_dim, const StandardScaler& scaler);
+  /// Additional Adam epochs from the *current* parameters (no re-init).
+  void train_epochs(const DesignMatrix& x, const std::vector<int>& y, std::size_t epochs);
+  /// Flattened copy of all trainable parameters, layout-stable.
+  std::vector<double> parameters() const;
+  /// Replaces all parameters; the length must match parameters().size().
+  void set_parameters(std::span<const double> flat);
+
+  void save(util::ByteWriter& w) const override;
+  void load(util::ByteReader& r) override;
+
+  std::uint64_t parameter_bytes() const override;
+  std::uint64_t inference_scratch_bytes() const override;
+
+  std::size_t parameter_count() const;
+
+ private:
+  struct Activations {
+    std::vector<double> input;    // D
+    std::vector<double> conv;     // F * D (pre-activation)
+    std::vector<double> relu1;    // F * D
+    std::vector<double> pooled;   // F * P
+    std::vector<std::size_t> pool_argmax;
+    std::vector<double> dense1;   // H (pre-activation)
+    std::vector<double> relu2;    // H
+    std::vector<double> logits;   // 2
+    std::vector<double> probs;    // 2
+  };
+
+  void forward(std::span<const double> scaled, Activations& act) const;
+  std::size_t pooled_length() const { return (input_dim_ + 1) / 2; }
+  std::size_t flat_size() const { return config_.filters * pooled_length(); }
+
+  CnnConfig config_;
+  StandardScaler scaler_;
+  std::size_t input_dim_ = 0;
+  bool trained_ = false;
+  std::uint64_t train_calls_ = 0;  // varies shuffles across train_epochs calls
+
+  // Parameters, flat layouts documented in cnn.cpp.
+  std::vector<double> conv_w_;    // F * kernel
+  std::vector<double> conv_b_;    // F
+  std::vector<double> dense1_w_;  // H * flat
+  std::vector<double> dense1_b_;  // H
+  std::vector<double> dense2_w_;  // 2 * H
+  std::vector<double> dense2_b_;  // 2
+};
+
+}  // namespace ddoshield::ml

@@ -1,0 +1,88 @@
+#include "ml/feature_selection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace ddoshield::ml {
+
+std::vector<FeatureScore> rank_features(const DesignMatrix& x, const std::vector<int>& y) {
+  if (x.rows() != y.size()) throw std::invalid_argument("rank_features: X/y mismatch");
+  if (x.empty()) throw std::invalid_argument("rank_features: empty matrix");
+
+  const std::size_t dims = x.cols();
+  std::vector<util::OnlineStats> per_class[2];
+  per_class[0].resize(dims);
+  per_class[1].resize(dims);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    auto& stats = per_class[y[i] != 0 ? 1 : 0];
+    const auto row = x.row(i);
+    for (std::size_t d = 0; d < dims; ++d) stats[d].add(row[d]);
+  }
+
+  std::vector<FeatureScore> scores(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    scores[d].index = d;
+    const double mu0 = per_class[0][d].mean();
+    const double mu1 = per_class[1][d].mean();
+    const double var_sum = per_class[0][d].variance() + per_class[1][d].variance();
+    const double diff = mu1 - mu0;
+    scores[d].score = var_sum > 1e-18 ? diff * diff / var_sum
+                      : (diff * diff > 1e-18 ? 1e18 : 0.0);
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const FeatureScore& a, const FeatureScore& b) { return a.score > b.score; });
+  return scores;
+}
+
+DesignMatrix select_columns(const DesignMatrix& x, const std::vector<std::size_t>& columns) {
+  if (columns.empty()) throw std::invalid_argument("select_columns: no columns");
+  for (const std::size_t c : columns) {
+    if (c >= x.cols()) throw std::out_of_range("select_columns: bad column index");
+  }
+  DesignMatrix out{columns.size()};
+  out.reserve(x.rows());
+  std::vector<double> buf(columns.size());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    for (std::size_t k = 0; k < columns.size(); ++k) buf[k] = row[columns[k]];
+    out.add_row(buf);
+  }
+  return out;
+}
+
+std::vector<std::size_t> top_k_columns(const std::vector<FeatureScore>& ranking,
+                                       std::size_t k) {
+  if (k == 0 || k > ranking.size()) {
+    throw std::invalid_argument("top_k_columns: k out of range");
+  }
+  std::vector<std::size_t> columns;
+  columns.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) columns.push_back(ranking[i].index);
+  return columns;
+}
+
+void ColumnSubsetClassifier::fit(const DesignMatrix&, const std::vector<int>&) {
+  throw std::logic_error("ColumnSubsetClassifier: serving wrapper; fit the inner model "
+                         "on select_columns() output");
+}
+
+int ColumnSubsetClassifier::predict(std::span<const double> row) const {
+  std::vector<double> projected(columns_.size());
+  for (std::size_t k = 0; k < columns_.size(); ++k) {
+    if (columns_[k] >= row.size()) {
+      throw std::invalid_argument("ColumnSubsetClassifier: row narrower than subset");
+    }
+    projected[k] = row[columns_[k]];
+  }
+  return inner_.predict(projected);
+}
+
+void ColumnSubsetClassifier::save(util::ByteWriter& w) const { inner_.save(w); }
+
+void ColumnSubsetClassifier::load(util::ByteReader&) {
+  throw std::logic_error("ColumnSubsetClassifier: load the inner model instead");
+}
+
+}  // namespace ddoshield::ml

@@ -1,0 +1,63 @@
+// Feature-usefulness evaluation (§IV-D footnote / future work).
+//
+// The paper deliberately skips feature selection and blames its real-time
+// accuracy dips on that choice ("we do not use a features extraction
+// algorithm that evaluates the actual usefulness of each feature. This
+// will be part of future work."). This module is that future work: a
+// Fisher-score ranking of features by class separability, a top-k column
+// selector, and a serving wrapper that projects full rows onto the
+// selected subset so any Classifier can run on curated features.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/design_matrix.hpp"
+
+namespace ddoshield::ml {
+
+struct FeatureScore {
+  std::size_t index = 0;
+  double score = 0.0;  // Fisher score: (mu1-mu0)^2 / (var1 + var0)
+};
+
+/// Ranks every column by Fisher score, best first. Constant features and
+/// features with zero between-class separation score 0.
+std::vector<FeatureScore> rank_features(const DesignMatrix& x, const std::vector<int>& y);
+
+/// Copies the given columns (in the given order) into a narrower matrix.
+DesignMatrix select_columns(const DesignMatrix& x, const std::vector<std::size_t>& columns);
+
+/// Convenience: the top-k column indices from a ranking.
+std::vector<std::size_t> top_k_columns(const std::vector<FeatureScore>& ranking,
+                                       std::size_t k);
+
+/// Serves a model trained on a column subset: projects each full-width row
+/// onto the subset before delegating. Owns nothing; the inner model and
+/// the column list must outlive it.
+class ColumnSubsetClassifier : public Classifier {
+ public:
+  ColumnSubsetClassifier(const Classifier& inner, std::vector<std::size_t> columns)
+      : inner_{inner}, columns_{std::move(columns)} {}
+
+  std::string name() const override { return inner_.name(); }
+  void fit(const DesignMatrix&, const std::vector<int>&) override;
+  int predict(std::span<const double> row) const override;
+  bool trained() const override { return inner_.trained(); }
+  void save(util::ByteWriter& w) const override;
+  void load(util::ByteReader& r) override;
+  std::uint64_t parameter_bytes() const override { return inner_.parameter_bytes(); }
+  std::uint64_t inference_scratch_bytes() const override {
+    return inner_.inference_scratch_bytes() + columns_.size() * sizeof(double);
+  }
+
+  const std::vector<std::size_t>& columns() const { return columns_; }
+
+ private:
+  const Classifier& inner_;
+  std::vector<std::size_t> columns_;
+};
+
+}  // namespace ddoshield::ml

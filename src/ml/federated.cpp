@@ -1,0 +1,89 @@
+#include "ml/federated.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ddoshield::ml {
+
+FederatedCnnTrainer::FederatedCnnTrainer(FederatedConfig config) : config_{config} {
+  if (config_.rounds == 0) throw std::invalid_argument("FederatedCnnTrainer: rounds > 0");
+  if (config_.local_epochs == 0) {
+    throw std::invalid_argument("FederatedCnnTrainer: local_epochs > 0");
+  }
+}
+
+Cnn1D FederatedCnnTrainer::train(const std::vector<FederatedShard>& shards,
+                                 const StandardScaler& scaler) {
+  if (shards.empty()) throw std::invalid_argument("FederatedCnnTrainer: no shards");
+  for (const auto& shard : shards) {
+    if (shard.x == nullptr || shard.y == nullptr || shard.x->empty()) {
+      throw std::invalid_argument("FederatedCnnTrainer: empty shard");
+    }
+    if (shard.x->rows() != shard.y->size()) {
+      throw std::invalid_argument("FederatedCnnTrainer: shard X/y mismatch");
+    }
+    if (shard.x->cols() != scaler.mean().size()) {
+      throw std::invalid_argument("FederatedCnnTrainer: shard width != scaler width");
+    }
+  }
+  round_stats_.clear();
+
+  Cnn1D global{config_.cnn};
+  global.initialize(shards.front().x->cols(), scaler);
+  std::vector<double> global_params = global.parameters();
+
+  // One persistent local model per client, so client-side Adam shuffling
+  // stays deterministic per client across rounds.
+  std::vector<Cnn1D> clients;
+  clients.reserve(shards.size());
+  for (std::size_t c = 0; c < shards.size(); ++c) {
+    CnnConfig cfg = config_.cnn;
+    cfg.seed = config_.cnn.seed + 1 + c;
+    clients.emplace_back(cfg);
+    clients.back().initialize(shards.front().x->cols(), scaler);
+  }
+
+  double total_rows = 0.0;
+  for (const auto& shard : shards) total_rows += static_cast<double>(shard.x->rows());
+
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    std::vector<double> aggregate(global_params.size(), 0.0);
+    for (std::size_t c = 0; c < shards.size(); ++c) {
+      clients[c].set_parameters(global_params);
+      clients[c].train_epochs(*shards[c].x, *shards[c].y, config_.local_epochs);
+      const std::vector<double> local = clients[c].parameters();
+      const double weight = static_cast<double>(shards[c].x->rows()) / total_rows;
+      for (std::size_t p = 0; p < aggregate.size(); ++p) {
+        aggregate[p] += weight * local[p];
+      }
+    }
+
+    FederatedRoundStats stats;
+    stats.round = round;
+    double delta = 0.0;
+    for (std::size_t p = 0; p < aggregate.size(); ++p) {
+      delta += std::abs(aggregate[p] - global_params[p]);
+    }
+    stats.mean_parameter_delta = delta / static_cast<double>(aggregate.size());
+    round_stats_.push_back(stats);
+
+    global_params = std::move(aggregate);
+  }
+
+  global.set_parameters(global_params);
+  return global;
+}
+
+void shard_dataset(const DesignMatrix& x, const std::vector<int>& y, std::size_t clients,
+                   std::vector<DesignMatrix>& out_x, std::vector<std::vector<int>>& out_y) {
+  if (clients == 0) throw std::invalid_argument("shard_dataset: clients > 0");
+  if (x.rows() != y.size()) throw std::invalid_argument("shard_dataset: X/y mismatch");
+  out_x.assign(clients, DesignMatrix{x.cols()});
+  out_y.assign(clients, {});
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out_x[i % clients].add_row(x.row(i));
+    out_y[i % clients].push_back(y[i]);
+  }
+}
+
+}  // namespace ddoshield::ml

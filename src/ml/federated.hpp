@@ -1,0 +1,59 @@
+// Federated NIDS training (§VI future work).
+//
+// The paper's stated next step: "enhance DDoShield-IoT to emulate a
+// FL-based Network Intrusion Detection System". FedAvg over the CNN
+// detector: each device keeps its local capture shard private, trains the
+// shared architecture locally for a few epochs, and only parameter vectors
+// travel; the aggregator weighs client updates by shard size. Feature
+// scaling is a pre-agreed deployment artifact (fitted once on a public
+// calibration sample), as in real FL-NIDS deployments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/cnn.hpp"
+#include "ml/design_matrix.hpp"
+
+namespace ddoshield::ml {
+
+struct FederatedConfig {
+  std::size_t rounds = 5;
+  std::size_t local_epochs = 1;
+  CnnConfig cnn;  // shared architecture; cnn.epochs is ignored
+};
+
+/// One client's private shard.
+struct FederatedShard {
+  const DesignMatrix* x = nullptr;
+  const std::vector<int>* y = nullptr;
+};
+
+struct FederatedRoundStats {
+  std::size_t round = 0;
+  double mean_parameter_delta = 0.0;  // mean |global_t - global_{t-1}|
+};
+
+class FederatedCnnTrainer {
+ public:
+  explicit FederatedCnnTrainer(FederatedConfig config = {});
+
+  /// Runs FedAvg and returns the global model. `scaler` is the shared
+  /// normalisation artifact (fit it on any public calibration matrix).
+  /// Throws if shards are empty or widths disagree with the scaler.
+  Cnn1D train(const std::vector<FederatedShard>& shards, const StandardScaler& scaler);
+
+  const std::vector<FederatedRoundStats>& round_stats() const { return round_stats_; }
+
+ private:
+  FederatedConfig config_;
+  std::vector<FederatedRoundStats> round_stats_;
+};
+
+/// Splits a dataset matrix into per-client shards by row index modulo
+/// `clients` (a convenience for experiments; real deployments shard by
+/// capture point). Returned matrices own their rows.
+void shard_dataset(const DesignMatrix& x, const std::vector<int>& y, std::size_t clients,
+                   std::vector<DesignMatrix>& out_x, std::vector<std::vector<int>>& out_y);
+
+}  // namespace ddoshield::ml

@@ -1,0 +1,238 @@
+#include "ml/isolation_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ddoshield::ml {
+
+double isolation_c_norm(std::size_t n) {
+  if (n <= 1) return 0.0;
+  const double nd = static_cast<double>(n);
+  const double harmonic = std::log(nd - 1.0) + 0.5772156649015329;  // H(n-1)
+  return 2.0 * harmonic - 2.0 * (nd - 1.0) / nd;
+}
+
+IsolationForest::IsolationForest(IsolationForestConfig config) : config_{config} {
+  if (config_.n_trees == 0) throw std::invalid_argument("IsolationForest: n_trees > 0");
+  if (config_.subsample < 2) throw std::invalid_argument("IsolationForest: subsample >= 2");
+}
+
+std::int32_t IsolationForest::build(Tree& tree, const DesignMatrix& x,
+                                    std::vector<std::size_t>& idx, std::size_t begin,
+                                    std::size_t end, std::size_t depth,
+                                    std::size_t depth_limit, util::Rng& rng) {
+  const std::size_t n = end - begin;
+  if (depth >= depth_limit || n <= 1) {
+    Node leaf;
+    leaf.size = static_cast<std::uint32_t>(n);
+    tree.nodes.push_back(leaf);
+    return static_cast<std::int32_t>(tree.nodes.size() - 1);
+  }
+
+  // Pick a random feature with spread, and a random split value within it.
+  const std::size_t dims = x.cols();
+  std::int32_t feature = -1;
+  double lo = 0.0, hi = 0.0;
+  for (std::size_t attempt = 0; attempt < dims; ++attempt) {
+    const auto f = static_cast<std::size_t>(rng.uniform_u64(dims));
+    lo = std::numeric_limits<double>::max();
+    hi = std::numeric_limits<double>::lowest();
+    for (std::size_t k = begin; k < end; ++k) {
+      const double v = x.at(idx[k], f);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi > lo) {
+      feature = static_cast<std::int32_t>(f);
+      break;
+    }
+  }
+  if (feature < 0) {  // all candidate features constant here
+    Node leaf;
+    leaf.size = static_cast<std::uint32_t>(n);
+    tree.nodes.push_back(leaf);
+    return static_cast<std::int32_t>(tree.nodes.size() - 1);
+  }
+
+  const double split = rng.uniform(lo, hi);
+  const auto mid_it =
+      std::partition(idx.begin() + static_cast<std::ptrdiff_t>(begin),
+                     idx.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&](std::size_t i) {
+                       return x.at(i, static_cast<std::size_t>(feature)) < split;
+                     });
+  const auto mid = static_cast<std::size_t>(mid_it - idx.begin());
+  if (mid == begin || mid == end) {
+    Node leaf;
+    leaf.size = static_cast<std::uint32_t>(n);
+    tree.nodes.push_back(leaf);
+    return static_cast<std::int32_t>(tree.nodes.size() - 1);
+  }
+
+  Node node;
+  node.feature = feature;
+  node.threshold = split;
+  tree.nodes.push_back(node);
+  const auto me = static_cast<std::int32_t>(tree.nodes.size() - 1);
+  const std::int32_t left = build(tree, x, idx, begin, mid, depth + 1, depth_limit, rng);
+  const std::int32_t right = build(tree, x, idx, mid, end, depth + 1, depth_limit, rng);
+  tree.nodes[static_cast<std::size_t>(me)].left = left;
+  tree.nodes[static_cast<std::size_t>(me)].right = right;
+  return me;
+}
+
+void IsolationForest::fit(const DesignMatrix& x, const std::vector<int>& y) {
+  if (x.rows() != y.size()) throw std::invalid_argument("IsolationForest::fit: X/y mismatch");
+  if (x.rows() < config_.subsample) {
+    throw std::invalid_argument("IsolationForest::fit: fewer rows than subsample");
+  }
+
+  util::Rng rng{config_.seed};
+  scaler_.fit(x);
+  DesignMatrix sub_raw;
+  std::vector<int> sub_y;
+  subsample(x, y, config_.max_training_rows, rng, sub_raw, sub_y);
+  const DesignMatrix data = scaler_.transform(sub_raw);
+
+  c_norm_ = isolation_c_norm(config_.subsample);
+  const auto depth_limit = static_cast<std::size_t>(
+      std::ceil(std::log2(static_cast<double>(config_.subsample))));
+
+  trees_.clear();
+  trees_.resize(config_.n_trees);
+  std::vector<std::size_t> sample(config_.subsample);
+  for (auto& tree : trees_) {
+    for (auto& s : sample) s = rng.uniform_u64(data.rows());
+    tree.nodes.reserve(2 * config_.subsample);
+    build(tree, data, sample, 0, sample.size(), 0, depth_limit, rng);
+  }
+
+  // Threshold calibration: the score cut that maximises training accuracy.
+  // (The model itself never used the labels.)
+  std::vector<std::pair<double, int>> scored;
+  const std::size_t calib = std::min<std::size_t>(data.rows(), 20000);
+  scored.reserve(calib);
+  for (std::size_t i = 0; i < calib; ++i) {
+    double mean_path = 0.0;
+    for (const auto& tree : trees_) mean_path += path_length(tree, data.row(i));
+    mean_path /= static_cast<double>(trees_.size());
+    const double score = std::pow(2.0, -mean_path / c_norm_);
+    scored.emplace_back(score, sub_y[i]);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::size_t total_pos = 0;
+  for (const auto& [s, label] : scored) total_pos += label != 0;
+  // Sweep every cut in both directions: "malicious above the cut" is the
+  // classic rare-anomaly reading, but flood traffic is dense, so the
+  // attack class can calibrate to the low-score side.
+  std::size_t pos_below = 0;
+  std::size_t best_correct = total_pos;  // cut below everything, malicious above
+  double best_cut = 0.0;
+  bool best_above = true;
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    pos_below += scored[i].second != 0;
+    const double cut = i + 1 < scored.size()
+                           ? 0.5 * (scored[i].first + scored[i + 1].first)
+                           : scored[i].first;
+    const std::size_t neg_below = (i + 1) - pos_below;
+    const std::size_t pos_above = total_pos - pos_below;
+    const std::size_t correct_above = neg_below + pos_above;   // malicious = high score
+    const std::size_t correct_below =
+        scored.size() - correct_above;                          // malicious = low score
+    if (correct_above > best_correct) {
+      best_correct = correct_above;
+      best_cut = cut;
+      best_above = true;
+    }
+    if (correct_below > best_correct) {
+      best_correct = correct_below;
+      best_cut = cut;
+      best_above = false;
+    }
+  }
+  threshold_ = best_cut;
+  malicious_above_ = best_above;
+}
+
+double IsolationForest::path_length(const Tree& tree, std::span<const double> row) const {
+  std::int32_t i = 0;
+  double depth = 0.0;
+  for (;;) {
+    const Node& node = tree.nodes[static_cast<std::size_t>(i)];
+    if (node.feature < 0) {
+      return depth + isolation_c_norm(node.size);  // unresolved subtree estimate
+    }
+    ++depth;
+    i = row[static_cast<std::size_t>(node.feature)] < node.threshold ? node.left
+                                                                     : node.right;
+  }
+}
+
+double IsolationForest::anomaly_score(std::span<const double> row) const {
+  if (trees_.empty()) throw std::logic_error("IsolationForest: not trained");
+  const std::vector<double> z = scaler_.transform(row);
+  double mean_path = 0.0;
+  for (const auto& tree : trees_) mean_path += path_length(tree, z);
+  mean_path /= static_cast<double>(trees_.size());
+  return std::pow(2.0, -mean_path / c_norm_);
+}
+
+int IsolationForest::predict(std::span<const double> row) const {
+  const bool above = anomaly_score(row) > threshold_;
+  return above == malicious_above_ ? 1 : 0;
+}
+
+void IsolationForest::save(util::ByteWriter& w) const {
+  scaler_.save(w);
+  w.put_f64(c_norm_);
+  w.put_f64(threshold_);
+  w.put_u8(malicious_above_ ? 1 : 0);
+  w.put_u64(trees_.size());
+  for (const auto& tree : trees_) {
+    w.put_u64(tree.nodes.size());
+    for (const auto& n : tree.nodes) {
+      w.put_u32(static_cast<std::uint32_t>(n.feature));
+      w.put_f64(n.threshold);
+      w.put_u32(static_cast<std::uint32_t>(n.left));
+      w.put_u32(static_cast<std::uint32_t>(n.right));
+      w.put_u32(n.size);
+    }
+  }
+}
+
+void IsolationForest::load(util::ByteReader& r) {
+  scaler_.load(r);
+  c_norm_ = r.get_f64();
+  threshold_ = r.get_f64();
+  malicious_above_ = r.get_u8() != 0;
+  const std::uint64_t count = r.get_u64();
+  trees_.clear();
+  trees_.resize(count);
+  for (auto& tree : trees_) {
+    const std::uint64_t nodes = r.get_u64();
+    tree.nodes.reserve(nodes);
+    for (std::uint64_t i = 0; i < nodes; ++i) {
+      Node n;
+      n.feature = static_cast<std::int32_t>(r.get_u32());
+      n.threshold = r.get_f64();
+      n.left = static_cast<std::int32_t>(r.get_u32());
+      n.right = static_cast<std::int32_t>(r.get_u32());
+      n.size = r.get_u32();
+      tree.nodes.push_back(n);
+    }
+  }
+}
+
+std::uint64_t IsolationForest::parameter_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& tree : trees_) bytes += tree.nodes.size() * sizeof(Node);
+  return bytes;
+}
+
+std::uint64_t IsolationForest::inference_scratch_bytes() const {
+  return scaler_.mean().size() * sizeof(double);
+}
+
+}  // namespace ddoshield::ml

@@ -1,0 +1,83 @@
+// Isolation Forest (§V extension).
+//
+// The second additional detector the paper's threats-to-validity section
+// names. Classic Liu/Ting/Zhou construction: an ensemble of isolation
+// trees, each grown on a small subsample by recursive random axis/value
+// splits; anomalous points isolate in few splits, so the expected path
+// length maps to an anomaly score s = 2^(-E[h]/c(psi)). Training is
+// unsupervised; labels are used once, to place the alarm threshold at the
+// score that best separates the training classes (the same label-free-
+// model / labelled-evaluation wiring as the K-Means detector).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/preprocess.hpp"
+#include "util/rng.hpp"
+
+namespace ddoshield::ml {
+
+struct IsolationForestConfig {
+  std::size_t n_trees = 100;
+  std::size_t subsample = 256;  // psi; the classic default
+  std::uint64_t seed = 515;
+  /// Training subsample bound for threshold calibration.
+  std::size_t max_training_rows = 60000;
+};
+
+class IsolationForest : public Classifier {
+ public:
+  explicit IsolationForest(IsolationForestConfig config = {});
+
+  std::string name() const override { return "iforest"; }
+  void fit(const DesignMatrix& x, const std::vector<int>& y) override;
+  int predict(std::span<const double> row) const override;
+  bool trained() const override { return !trees_.empty(); }
+
+  /// Anomaly score in (0,1); higher = more isolated = more anomalous.
+  double anomaly_score(std::span<const double> row) const;
+  double threshold() const { return threshold_; }
+  /// True when the malicious class sits on the high-score (isolated) side.
+  /// Flood traffic is *dense*, so on DDoS captures the attack class often
+  /// calibrates to the low-score side — the inversion of the classic
+  /// "attacks are rare anomalies" assumption.
+  bool malicious_is_anomalous() const { return malicious_above_; }
+
+  void save(util::ByteWriter& w) const override;
+  void load(util::ByteReader& r) override;
+
+  std::uint64_t parameter_bytes() const override;
+  std::uint64_t inference_scratch_bytes() const override;
+
+ private:
+  struct Node {
+    std::int32_t feature = -1;  // -1: external node
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint32_t size = 0;     // external node: subsample size at leaf
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  std::int32_t build(Tree& tree, const DesignMatrix& x, std::vector<std::size_t>& idx,
+                     std::size_t begin, std::size_t end, std::size_t depth,
+                     std::size_t depth_limit, util::Rng& rng);
+  double path_length(const Tree& tree, std::span<const double> row) const;
+
+  IsolationForestConfig config_;
+  StandardScaler scaler_;
+  std::vector<Tree> trees_;
+  double c_norm_ = 1.0;      // c(psi) normaliser
+  double threshold_ = 0.5;   // alarm threshold on the anomaly score
+  bool malicious_above_ = true;  // which side of the threshold is malicious
+};
+
+/// Average unsuccessful-search path length of a BST with n nodes — the
+/// c(n) normaliser from the Isolation Forest paper.
+double isolation_c_norm(std::size_t n);
+
+}  // namespace ddoshield::ml

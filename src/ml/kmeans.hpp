@@ -1,0 +1,65 @@
+// Unsupervised K-Means detector with entropy-penalised cluster-count
+// selection (Sinaga & Yang's "Unsupervised K-Means", the paper's ref [31]).
+//
+// Training starts from a generous number of clusters seeded k-means++ style
+// and alternates assignment / centroid / mixing-proportion updates. The
+// objective carries an entropy penalty on the mixing proportions, so
+// under-populated clusters lose mass and are discarded — the algorithm
+// finds its own k. Labels never influence clustering; they are used only
+// afterwards to give each surviving cluster a majority-class tag so the
+// detector can answer benign/malicious (exactly how an unsupervised model
+// is wired into a supervised IDS evaluation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/preprocess.hpp"
+#include "util/rng.hpp"
+
+namespace ddoshield::ml {
+
+struct KMeansConfig {
+  /// Generous starting count: traffic regimes are plentiful (three benign
+  /// protocols x quiet/busy, three attack vectors x intensities), and the
+  /// entropy penalty prunes what the data cannot support.
+  std::size_t initial_clusters = 40;
+  std::size_t max_iterations = 50;
+  double tolerance = 1e-4;       // centroid-shift convergence threshold
+  double entropy_weight = 0.01;  // penalty strength on mixing proportions
+  double min_proportion = 0.003; // clusters below this mass are dropped
+  /// Training subsample bound (k-means is O(n·k·d) per iteration).
+  std::size_t max_training_rows = 60000;
+  std::uint64_t seed = 4242;
+};
+
+class KMeansDetector : public Classifier {
+ public:
+  explicit KMeansDetector(KMeansConfig config = {});
+
+  std::string name() const override { return "kmeans"; }
+  void fit(const DesignMatrix& x, const std::vector<int>& y) override;
+  int predict(std::span<const double> row) const override;
+  bool trained() const override { return !centroids_.empty(); }
+
+  void save(util::ByteWriter& w) const override;
+  void load(util::ByteReader& r) override;
+
+  std::uint64_t parameter_bytes() const override;
+  std::uint64_t inference_scratch_bytes() const override;
+
+  std::size_t cluster_count() const { return centroids_.size(); }
+  const std::vector<int>& cluster_labels() const { return cluster_labels_; }
+
+ private:
+  std::size_t nearest_cluster(std::span<const double> scaled_row) const;
+
+  KMeansConfig config_;
+  StandardScaler scaler_;
+  std::vector<std::vector<double>> centroids_;
+  std::vector<double> proportions_;
+  std::vector<int> cluster_labels_;  // majority class per cluster
+};
+
+}  // namespace ddoshield::ml

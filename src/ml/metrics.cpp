@@ -1,0 +1,54 @@
+#include "ml/metrics.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ddoshield::ml {
+
+void ConfusionMatrix::add(int truth, int prediction) {
+  if (truth == 1) {
+    prediction == 1 ? ++tp_ : ++fn_;
+  } else {
+    prediction == 1 ? ++fp_ : ++tn_;
+  }
+}
+
+void ConfusionMatrix::add_all(std::span<const int> truth, std::span<const int> prediction) {
+  if (truth.size() != prediction.size()) {
+    throw std::invalid_argument("ConfusionMatrix::add_all: size mismatch");
+  }
+  for (std::size_t i = 0; i < truth.size(); ++i) add(truth[i], prediction[i]);
+}
+
+double ConfusionMatrix::accuracy() const {
+  const auto n = total();
+  return n == 0 ? 0.0 : static_cast<double>(tp_ + tn_) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::precision() const {
+  const auto denom = tp_ + fp_;
+  return denom == 0 ? 0.0 : static_cast<double>(tp_) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::recall() const {
+  const auto denom = tp_ + fn_;
+  return denom == 0 ? 0.0 : static_cast<double>(tp_) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  os << "tp=" << tp_ << " tn=" << tn_ << " fp=" << fp_ << " fn=" << fn_
+     << " acc=" << accuracy() << " prec=" << precision() << " rec=" << recall()
+     << " f1=" << f1();
+  return os.str();
+}
+
+}  // namespace ddoshield::ml

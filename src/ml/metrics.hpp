@@ -1,0 +1,40 @@
+// Classification metrics: confusion matrix, accuracy, precision, recall,
+// F1 — the paper's §IV-C evaluation set.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace ddoshield::ml {
+
+/// Binary confusion matrix with "malicious" (1) as the positive class.
+class ConfusionMatrix {
+ public:
+  void add(int truth, int prediction);
+  void add_all(std::span<const int> truth, std::span<const int> prediction);
+
+  std::uint64_t tp() const { return tp_; }
+  std::uint64_t tn() const { return tn_; }
+  std::uint64_t fp() const { return fp_; }
+  std::uint64_t fn() const { return fn_; }
+  std::uint64_t total() const { return tp_ + tn_ + fp_ + fn_; }
+
+  /// All return 0 when their denominator is empty (the paper's division-
+  /// by-zero caveat for single-class windows — callers decide how to
+  /// treat such windows; see §IV-D).
+  double accuracy() const;
+  double precision() const;
+  double recall() const;
+  double f1() const;
+
+  std::string to_string() const;
+
+ private:
+  std::uint64_t tp_ = 0;
+  std::uint64_t tn_ = 0;
+  std::uint64_t fp_ = 0;
+  std::uint64_t fn_ = 0;
+};
+
+}  // namespace ddoshield::ml

@@ -1,0 +1,132 @@
+#include "ml/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace ddoshield::ml {
+
+void StandardScaler::fit(const DesignMatrix& x) {
+  if (x.empty()) throw std::invalid_argument("StandardScaler::fit: empty matrix");
+  const std::size_t cols = x.cols();
+  std::vector<util::OnlineStats> stats(cols);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    for (std::size_t c = 0; c < cols; ++c) stats[c].add(row[c]);
+  }
+  mean_.assign(cols, 0.0);
+  stddev_.assign(cols, 1.0);
+  for (std::size_t c = 0; c < cols; ++c) {
+    mean_[c] = stats[c].mean();
+    const double sd = stats[c].stddev();
+    stddev_[c] = sd > 1e-12 ? sd : 1.0;  // constant feature: avoid blow-up
+  }
+}
+
+std::vector<double> StandardScaler::transform(std::span<const double> row) const {
+  std::vector<double> out(row.begin(), row.end());
+  transform_inplace(out);
+  return out;
+}
+
+void StandardScaler::transform_inplace(std::span<double> row) const {
+  if (!fitted()) throw std::logic_error("StandardScaler: not fitted");
+  if (row.size() != mean_.size()) {
+    throw std::invalid_argument("StandardScaler::transform: wrong width");
+  }
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    // Clamp to the training support (±3σ): robust-inference guard that
+    // keeps a single drifted feature (an absolute timestamp, a byte-rate
+    // spike) from dominating distances or saturating activations.
+    row[c] = std::clamp((row[c] - mean_[c]) / stddev_[c], -3.0, 3.0);
+  }
+}
+
+DesignMatrix StandardScaler::transform(const DesignMatrix& x) const {
+  DesignMatrix out{x.cols()};
+  out.reserve(x.rows());
+  std::vector<double> buf;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    buf.assign(x.row(i).begin(), x.row(i).end());
+    transform_inplace(buf);
+    out.add_row(buf);
+  }
+  return out;
+}
+
+void StandardScaler::save(util::ByteWriter& w) const {
+  w.put_f64_span(mean_);
+  w.put_f64_span(stddev_);
+}
+
+void StandardScaler::load(util::ByteReader& r) {
+  mean_ = r.get_f64_vector();
+  stddev_ = r.get_f64_vector();
+  if (mean_.size() != stddev_.size()) {
+    throw std::invalid_argument("StandardScaler::load: inconsistent sizes");
+  }
+}
+
+TrainTestSplit train_test_split(const DesignMatrix& x, const std::vector<int>& y,
+                                double test_fraction, util::Rng& rng) {
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("train_test_split: X/y size mismatch");
+  }
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("train_test_split: fraction must be in (0,1)");
+  }
+
+  // Group row indices by class, shuffle each group, carve off the tail.
+  std::vector<std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const auto cls = static_cast<std::size_t>(y[i]);
+    if (cls >= by_class.size()) by_class.resize(cls + 1);
+    by_class[cls].push_back(i);
+  }
+
+  TrainTestSplit split;
+  split.train_x = DesignMatrix{x.cols()};
+  split.test_x = DesignMatrix{x.cols()};
+  for (auto& indices : by_class) {
+    rng.shuffle(indices);
+    const auto test_count = static_cast<std::size_t>(
+        std::llround(static_cast<double>(indices.size()) * test_fraction));
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const std::size_t i = indices[k];
+      if (k < test_count) {
+        split.test_x.add_row(x.row(i));
+        split.test_y.push_back(y[i]);
+      } else {
+        split.train_x.add_row(x.row(i));
+        split.train_y.push_back(y[i]);
+      }
+    }
+  }
+  return split;
+}
+
+void subsample(const DesignMatrix& x, const std::vector<int>& y, std::size_t max_rows,
+               util::Rng& rng, DesignMatrix& out_x, std::vector<int>& out_y) {
+  if (x.rows() != y.size()) throw std::invalid_argument("subsample: X/y size mismatch");
+  out_x = DesignMatrix{x.cols()};
+  out_y.clear();
+  if (x.rows() <= max_rows) {
+    for (std::size_t i = 0; i < x.rows(); ++i) out_x.add_row(x.row(i));
+    out_y = y;
+    return;
+  }
+  std::vector<std::size_t> indices(x.rows());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng.shuffle(indices);
+  indices.resize(max_rows);
+  out_x.reserve(max_rows);
+  out_y.reserve(max_rows);
+  for (const std::size_t i : indices) {
+    out_x.add_row(x.row(i));
+    out_y.push_back(y[i]);
+  }
+}
+
+}  // namespace ddoshield::ml

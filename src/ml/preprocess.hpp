@@ -1,0 +1,56 @@
+// Preprocessing: standard scaling and stratified train/test splitting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/design_matrix.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace ddoshield::ml {
+
+/// Per-feature zero-mean unit-variance scaler (sklearn's StandardScaler).
+/// Constant features scale to 0 (variance clamps to 1).
+class StandardScaler {
+ public:
+  void fit(const DesignMatrix& x);
+  bool fitted() const { return !mean_.empty(); }
+
+  /// Scales one row out-of-place.
+  std::vector<double> transform(std::span<const double> row) const;
+  /// Scales one row in-place.
+  void transform_inplace(std::span<double> row) const;
+  /// Scales a whole matrix.
+  DesignMatrix transform(const DesignMatrix& x) const;
+
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+struct TrainTestSplit {
+  DesignMatrix train_x;
+  std::vector<int> train_y;
+  DesignMatrix test_x;
+  std::vector<int> test_y;
+};
+
+/// Stratified shuffle split: each class contributes `test_fraction` of its
+/// rows to the test set. Deterministic given the rng.
+TrainTestSplit train_test_split(const DesignMatrix& x, const std::vector<int>& y,
+                                double test_fraction, util::Rng& rng);
+
+/// Uniform random subsample of at most `max_rows` rows (used to bound
+/// training cost on multi-hundred-thousand-packet datasets).
+void subsample(const DesignMatrix& x, const std::vector<int>& y, std::size_t max_rows,
+               util::Rng& rng, DesignMatrix& out_x, std::vector<int>& out_y);
+
+}  // namespace ddoshield::ml

@@ -1,0 +1,73 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace ddoshield::ml {
+
+RandomForest::RandomForest(RandomForestConfig config) : config_{config} {
+  if (config_.n_estimators == 0) {
+    throw std::invalid_argument("RandomForest: n_estimators must be > 0");
+  }
+}
+
+void RandomForest::fit(const DesignMatrix& x, const std::vector<int>& y) {
+  if (x.rows() != y.size()) throw std::invalid_argument("RandomForest::fit: X/y mismatch");
+  if (x.empty()) throw std::invalid_argument("RandomForest::fit: empty dataset");
+
+  num_classes_ = 1 + *std::max_element(y.begin(), y.end());
+  num_classes_ = std::max(num_classes_, 2);
+
+  util::Rng rng{config_.seed};
+  const std::size_t sample_size =
+      config_.max_samples_per_tree == 0
+          ? x.rows()
+          : std::min(config_.max_samples_per_tree, x.rows());
+
+  trees_.clear();
+  trees_.resize(config_.n_estimators);
+  std::vector<std::size_t> bootstrap(sample_size);
+  for (std::size_t t = 0; t < config_.n_estimators; ++t) {
+    util::Rng tree_rng = rng.fork("tree-" + std::to_string(t));
+    for (auto& idx : bootstrap) idx = tree_rng.uniform_u64(x.rows());  // with replacement
+    trees_[t].fit(x, y, bootstrap, num_classes_, config_.tree, tree_rng);
+  }
+}
+
+int RandomForest::predict(std::span<const double> row) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest::predict: not trained");
+  // Majority vote over trees.
+  std::array<std::uint32_t, 16> votes{};  // num_classes_ is small
+  for (const auto& tree : trees_) {
+    const int c = tree.predict(row);
+    ++votes[static_cast<std::size_t>(c) % votes.size()];
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+void RandomForest::save(util::ByteWriter& w) const {
+  w.put_u32(static_cast<std::uint32_t>(num_classes_));
+  w.put_u64(trees_.size());
+  for (const auto& tree : trees_) tree.save(w);
+}
+
+void RandomForest::load(util::ByteReader& r) {
+  num_classes_ = static_cast<int>(r.get_u32());
+  const std::uint64_t count = r.get_u64();
+  trees_.assign(count, DecisionTree{});
+  for (auto& tree : trees_) tree.load(r);
+}
+
+std::uint64_t RandomForest::parameter_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& tree : trees_) bytes += tree.byte_size();
+  return bytes;
+}
+
+std::uint64_t RandomForest::inference_scratch_bytes() const {
+  // Vote counters plus a pointer-chase per tree; effectively constant.
+  return 16 * sizeof(std::uint32_t) + trees_.size() * sizeof(void*);
+}
+
+}  // namespace ddoshield::ml

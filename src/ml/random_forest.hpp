@@ -1,0 +1,52 @@
+// Random Forest classifier: bagged CART trees with per-split feature
+// subsampling and majority voting (§III-B of the paper, scikit-learn's
+// RandomForestClassifier role).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/decision_tree.hpp"
+#include "util/rng.hpp"
+
+namespace ddoshield::ml {
+
+struct RandomForestConfig {
+  /// Defaults mirror scikit-learn's RandomForestClassifier (the paper's
+  /// implementation): 100 fully-grown trees (no depth limit, leaves down
+  /// to single samples) with sqrt(n_features) feature subsampling.
+  std::size_t n_estimators = 100;
+  TreeConfig tree{.max_depth = 64, .min_samples_split = 2, .min_samples_leaf = 1,
+                  .features_per_split = 4};  // ~sqrt(17)
+  /// Bootstrap sample size per tree, capped to bound training cost on
+  /// multi-hundred-thousand-row datasets; 0 = full dataset size.
+  std::size_t max_samples_per_tree = 3500;
+  std::uint64_t seed = 1337;
+};
+
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(RandomForestConfig config = {});
+
+  std::string name() const override { return "rf"; }
+  void fit(const DesignMatrix& x, const std::vector<int>& y) override;
+  int predict(std::span<const double> row) const override;
+  bool trained() const override { return !trees_.empty(); }
+
+  void save(util::ByteWriter& w) const override;
+  void load(util::ByteReader& r) override;
+
+  std::uint64_t parameter_bytes() const override;
+  std::uint64_t inference_scratch_bytes() const override;
+
+  std::size_t tree_count() const { return trees_.size(); }
+  const RandomForestConfig& config() const { return config_; }
+
+ private:
+  RandomForestConfig config_;
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 2;
+};
+
+}  // namespace ddoshield::ml

@@ -1,0 +1,109 @@
+#include "ml/svm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ddoshield::ml {
+
+LinearSvm::LinearSvm(SvmConfig config) : config_{config} {
+  if (config_.lambda <= 0.0) throw std::invalid_argument("LinearSvm: lambda must be > 0");
+  if (config_.epochs == 0) throw std::invalid_argument("LinearSvm: epochs must be > 0");
+}
+
+void LinearSvm::fit(const DesignMatrix& x, const std::vector<int>& y) {
+  if (x.rows() != y.size()) throw std::invalid_argument("LinearSvm::fit: X/y mismatch");
+  if (x.empty()) throw std::invalid_argument("LinearSvm::fit: empty dataset");
+
+  util::Rng rng{config_.seed};
+  scaler_.fit(x);
+  DesignMatrix sub_raw;
+  std::vector<int> sub_y;
+  subsample(x, y, config_.max_training_rows, rng, sub_raw, sub_y);
+  const DesignMatrix data = scaler_.transform(sub_raw);
+  const std::size_t n = data.rows();
+  const std::size_t dims = data.cols();
+
+  std::vector<double> w(dims, 0.0);
+  double b = 0.0;
+  // Polyak-style averaged iterate: the running mean of (w, b) converges
+  // more stably than the last SGD iterate.
+  std::vector<double> w_avg(dims, 0.0);
+  double b_avg = 0.0;
+  std::uint64_t averaged = 0;
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  // Step-size offset keeps the first steps bounded (eta <= 1), and
+  // averaging starts after the first epoch's burn-in.
+  const double t0 = 1.0 / config_.lambda;
+  std::uint64_t t = 0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (const std::size_t i : order) {
+      ++t;
+      const double eta = 1.0 / (config_.lambda * (static_cast<double>(t) + t0));
+      const double label = sub_y[i] != 0 ? 1.0 : -1.0;
+      const auto row = data.row(i);
+      double margin = b;
+      for (std::size_t d = 0; d < dims; ++d) margin += w[d] * row[d];
+      margin *= label;
+
+      // Pegasos update: shrink by the regulariser, step on hinge violation.
+      const double scale = 1.0 - eta * config_.lambda;
+      for (std::size_t d = 0; d < dims; ++d) w[d] *= scale;
+      if (margin < 1.0) {
+        for (std::size_t d = 0; d < dims; ++d) w[d] += eta * label * row[d];
+        b += eta * label;
+      }
+
+      if (epoch > 0 || config_.epochs == 1) {
+        ++averaged;
+        const double k = 1.0 / static_cast<double>(averaged);
+        for (std::size_t d = 0; d < dims; ++d) w_avg[d] += (w[d] - w_avg[d]) * k;
+        b_avg += (b - b_avg) * k;
+      }
+    }
+  }
+  weights_ = std::move(w_avg);
+  bias_ = b_avg;
+}
+
+double LinearSvm::decision_value(std::span<const double> row) const {
+  if (weights_.empty()) throw std::logic_error("LinearSvm: not trained");
+  const std::vector<double> z = scaler_.transform(row);
+  double v = bias_;
+  for (std::size_t d = 0; d < weights_.size(); ++d) v += weights_[d] * z[d];
+  return v;
+}
+
+int LinearSvm::predict(std::span<const double> row) const {
+  return decision_value(row) > 0.0 ? 1 : 0;
+}
+
+void LinearSvm::save(util::ByteWriter& w) const {
+  scaler_.save(w);
+  w.put_f64_span(weights_);
+  w.put_f64(bias_);
+}
+
+void LinearSvm::load(util::ByteReader& r) {
+  scaler_.load(r);
+  weights_ = r.get_f64_vector();
+  bias_ = r.get_f64();
+  if (weights_.size() != scaler_.mean().size()) {
+    throw std::invalid_argument("LinearSvm::load: inconsistent model file");
+  }
+}
+
+std::uint64_t LinearSvm::parameter_bytes() const {
+  return (weights_.size() + 1 + 2 * scaler_.mean().size()) * sizeof(double);
+}
+
+std::uint64_t LinearSvm::inference_scratch_bytes() const {
+  return scaler_.mean().size() * sizeof(double);
+}
+
+}  // namespace ddoshield::ml

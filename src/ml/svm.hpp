@@ -1,0 +1,50 @@
+// Linear Support Vector Machine (§V extension).
+//
+// The paper's threats-to-validity section names SVM as the first of the
+// additional detectors it plans to profile. This is a from-scratch linear
+// SVM: L2-regularised hinge loss minimised with averaged stochastic
+// sub-gradient descent (Pegasos-style step sizes) on standardised inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/preprocess.hpp"
+
+namespace ddoshield::ml {
+
+struct SvmConfig {
+  double lambda = 1e-4;   // L2 regularisation strength
+  std::size_t epochs = 5;
+  /// Training subsample bound.
+  std::size_t max_training_rows = 60000;
+  std::uint64_t seed = 2025;
+};
+
+class LinearSvm : public Classifier {
+ public:
+  explicit LinearSvm(SvmConfig config = {});
+
+  std::string name() const override { return "svm"; }
+  void fit(const DesignMatrix& x, const std::vector<int>& y) override;
+  int predict(std::span<const double> row) const override;
+  bool trained() const override { return !weights_.empty(); }
+
+  /// Signed distance to the separating hyperplane (raw decision value).
+  double decision_value(std::span<const double> row) const;
+
+  void save(util::ByteWriter& w) const override;
+  void load(util::ByteReader& r) override;
+
+  std::uint64_t parameter_bytes() const override;
+  std::uint64_t inference_scratch_bytes() const override;
+
+ private:
+  SvmConfig config_;
+  StandardScaler scaler_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace ddoshield::ml

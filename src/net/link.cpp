@@ -1,0 +1,70 @@
+#include "net/link.hpp"
+
+#include <stdexcept>
+
+#include "net/node.hpp"
+#include "net/simulator.hpp"
+
+namespace ddoshield::net {
+
+Link::Link(Simulator& sim, Node& a, Node& b, LinkConfig config)
+    : sim_{sim}, ends_{&a, &b}, config_{config} {
+  if (&a == &b) throw std::invalid_argument("Link: cannot connect a node to itself");
+  if (config_.rate_bps <= 0.0) throw std::invalid_argument("Link: rate must be positive");
+  a.attach_link(*this);
+  b.attach_link(*this);
+}
+
+int Link::index_of(const Node& n) const {
+  if (&n == ends_[0]) return 0;
+  if (&n == ends_[1]) return 1;
+  throw std::invalid_argument("Link: node is not an endpoint of this link");
+}
+
+Node& Link::peer_of(const Node& n) const { return *ends_[1 - index_of(n)]; }
+
+Link::Direction& Link::direction_from(const Node& from) {
+  return dirs_[index_of(from)];
+}
+
+const LinkDirectionStats& Link::stats_from(const Node& from) const {
+  return dirs_[index_of(from)].stats;
+}
+
+bool Link::transmit(const Node& from, Packet pkt) {
+  auto& dir = direction_from(from);
+  const std::uint32_t bytes = pkt.wire_bytes();
+
+  if (!up_) {
+    ++dir.stats.dropped_packets;
+    dir.stats.dropped_bytes += bytes;
+    return false;
+  }
+
+  const util::SimTime now = sim_.now();
+  const util::SimTime backlog =
+      dir.busy_until > now ? dir.busy_until - now : util::SimTime{};
+  const double backlog_bytes = backlog.to_seconds() * config_.rate_bps / 8.0;
+  if (backlog_bytes + bytes > static_cast<double>(config_.queue_bytes)) {
+    ++dir.stats.dropped_packets;
+    dir.stats.dropped_bytes += bytes;
+    return false;
+  }
+
+  const util::SimTime tx_time =
+      util::SimTime::from_seconds(static_cast<double>(bytes) * 8.0 / config_.rate_bps);
+  const util::SimTime start = dir.busy_until > now ? dir.busy_until : now;
+  dir.busy_until = start + tx_time;
+  const util::SimTime arrival = dir.busy_until + config_.delay;
+
+  ++dir.stats.tx_packets;
+  dir.stats.tx_bytes += bytes;
+
+  Node* peer = ends_[1 - index_of(from)];
+  sim_.schedule_at(arrival, [peer, pkt = std::move(pkt), this]() mutable {
+    if (up_) peer->deliver(std::move(pkt));
+  });
+  return true;
+}
+
+}  // namespace ddoshield::net

@@ -1,0 +1,75 @@
+// Point-to-point duplex link with finite rate, propagation delay, and a
+// drop-tail buffer.
+//
+// Queueing is modelled with the standard fluid approximation: each
+// direction tracks the time until which its transmitter is busy; the
+// implied backlog in bytes is (busy_until - now) * rate / 8. A packet that
+// would push the backlog past the configured buffer size is dropped. This
+// reproduces the two behaviours the testbed needs from NS-3 links —
+// serialization delay under load and loss under flood — at a fraction of
+// the bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/packet.hpp"
+#include "util/sim_time.hpp"
+
+namespace ddoshield::net {
+
+class Node;
+class Simulator;
+
+struct LinkConfig {
+  double rate_bps = 100e6;                 // 100 Mbit/s default access link
+  util::SimTime delay = util::SimTime::micros(500);
+  std::uint32_t queue_bytes = 128 * 1024;  // per-direction drop-tail buffer
+};
+
+/// Per-direction counters, exposed for experiment harnesses.
+struct LinkDirectionStats {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+};
+
+class Link {
+ public:
+  /// Creates the link and registers an interface on both endpoints.
+  /// The nodes must outlive the link; topology teardown is whole-network.
+  Link(Simulator& sim, Node& a, Node& b, LinkConfig config);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Transmits `pkt` from `from` toward the opposite endpoint. Returns
+  /// false if the drop-tail buffer rejected the packet.
+  bool transmit(const Node& from, Packet pkt);
+
+  /// Administrative state; a downed link drops everything (device churn).
+  void set_up(bool up) { up_ = up; }
+  bool is_up() const { return up_; }
+
+  const LinkDirectionStats& stats_from(const Node& from) const;
+  const LinkConfig& config() const { return config_; }
+  Node& peer_of(const Node& n) const;
+
+ private:
+  struct Direction {
+    util::SimTime busy_until;
+    LinkDirectionStats stats;
+  };
+
+  Direction& direction_from(const Node& from);
+  int index_of(const Node& n) const;
+
+  Simulator& sim_;
+  Node* ends_[2];
+  LinkConfig config_;
+  Direction dirs_[2];
+  bool up_ = true;
+};
+
+}  // namespace ddoshield::net

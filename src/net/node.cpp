@@ -1,0 +1,120 @@
+#include "net/node.hpp"
+
+#include <stdexcept>
+
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+#include "util/logging.hpp"
+
+namespace ddoshield::net {
+
+Node::Node(Simulator& sim, std::string name, Ipv4Address addr)
+    : sim_{sim}, name_{std::move(name)}, addr_{addr} {
+  port_rng_state_ ^= addr.bits() * 2654435761u;  // per-node port sequence
+  if (port_rng_state_ == 0) port_rng_state_ = 0x6b8b4567;
+  udp_ = std::make_unique<UdpHost>(*this);
+  tcp_ = std::make_unique<TcpHost>(*this);
+}
+
+Node::~Node() = default;
+
+std::size_t Node::attach_link(Link& link) {
+  links_.push_back(&link);
+  return links_.size() - 1;
+}
+
+void Node::add_route(Ipv4Address prefix, int prefix_len, std::size_t ifindex) {
+  if (ifindex >= links_.size()) {
+    throw std::out_of_range("Node::add_route: no such interface");
+  }
+  routes_.push_back(RouteEntry{prefix, prefix_len, ifindex});
+}
+
+void Node::set_default_route(std::size_t ifindex) {
+  if (ifindex >= links_.size()) {
+    throw std::out_of_range("Node::set_default_route: no such interface");
+  }
+  default_route_ = static_cast<int>(ifindex);
+}
+
+int Node::route_lookup(Ipv4Address dst) const {
+  int best = -1;
+  int best_len = -1;
+  for (const auto& r : routes_) {
+    if (dst.same_subnet(r.prefix, r.prefix_len) && r.prefix_len > best_len) {
+      best = static_cast<int>(r.ifindex);
+      best_len = r.prefix_len;
+    }
+  }
+  if (best >= 0) return best;
+  return default_route_;
+}
+
+std::uint16_t Node::allocate_ephemeral_port() {
+  // Randomised ephemeral allocation over 1024-65535, like modern stacks
+  // (RFC 6056). IoT stacks vary, but none hand out a narrow contiguous
+  // band per boot — and Mirai draws its flood source ports from the same
+  // range, so the source port alone must not give an IDS a free label.
+  port_rng_state_ ^= port_rng_state_ << 13;
+  port_rng_state_ ^= port_rng_state_ >> 17;
+  port_rng_state_ ^= port_rng_state_ << 5;
+  return static_cast<std::uint16_t>(1024 + port_rng_state_ % 64512);
+}
+
+void Node::run_taps(const Packet& pkt, TapDirection dir) {
+  for (const auto& tap : taps_) tap(pkt, dir);
+}
+
+void Node::send(Packet pkt) {
+  if (pkt.src.is_unspecified()) pkt.src = addr_;
+  pkt.sent_at = sim_.now();
+  pkt.uid = sim_.next_packet_uid();
+
+  const int ifindex = route_lookup(pkt.dst);
+  if (ifindex < 0) {
+    ++stats_.dropped_no_route;
+    return;
+  }
+  ++stats_.sent_packets;
+  run_taps(pkt, TapDirection::kSent);
+  if (!links_[static_cast<std::size_t>(ifindex)]->transmit(*this, std::move(pkt))) {
+    ++stats_.dropped_link;
+  }
+}
+
+void Node::deliver(Packet pkt) {
+  if (pkt.dst == addr_) {
+    ++stats_.received_packets;
+    run_taps(pkt, TapDirection::kReceived);
+    switch (pkt.proto) {
+      case IpProto::kTcp:
+        tcp_->deliver(pkt);
+        break;
+      case IpProto::kUdp:
+        udp_->deliver(pkt);
+        break;
+    }
+    return;
+  }
+
+  if (!forwarding_) return;  // not for us, not a router: drop
+
+  if (pkt.ttl <= 1) {
+    ++stats_.dropped_ttl;
+    return;
+  }
+  pkt.ttl -= 1;
+
+  const int ifindex = route_lookup(pkt.dst);
+  if (ifindex < 0) {
+    ++stats_.dropped_no_route;
+    return;
+  }
+  ++stats_.forwarded_packets;
+  run_taps(pkt, TapDirection::kForwarded);
+  if (!links_[static_cast<std::size_t>(ifindex)]->transmit(*this, std::move(pkt))) {
+    ++stats_.dropped_link;
+  }
+}
+
+}  // namespace ddoshield::net

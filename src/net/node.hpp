@@ -1,0 +1,109 @@
+// A simulated host or router.
+//
+// Each Node owns one IPv4 address, a set of link interfaces, a static
+// routing table, and its transport layers (UdpHost, TcpHost). Hosts with
+// forwarding enabled act as routers. Taps observe every packet the node
+// sends or receives — the capture module's attachment point, playing the
+// role of the paper's Wireshark/pcap probe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/simulator.hpp"
+
+namespace ddoshield::net {
+
+class TcpHost;
+class UdpHost;
+
+enum class TapDirection { kSent, kReceived, kForwarded };
+
+using TapFn = std::function<void(const Packet&, TapDirection)>;
+
+struct NodeStats {
+  std::uint64_t sent_packets = 0;
+  std::uint64_t received_packets = 0;
+  std::uint64_t forwarded_packets = 0;
+  std::uint64_t dropped_no_route = 0;
+  std::uint64_t dropped_ttl = 0;
+  std::uint64_t dropped_link = 0;
+};
+
+class Node {
+ public:
+  Node(Simulator& sim, std::string name, Ipv4Address addr);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return name_; }
+  Ipv4Address address() const { return addr_; }
+  Simulator& simulator() { return sim_; }
+
+  // --- topology ----------------------------------------------------------
+  /// Registered by Link's constructor; returns the new interface index.
+  std::size_t attach_link(Link& link);
+  std::size_t interface_count() const { return links_.size(); }
+  Link& link_at(std::size_t ifindex) { return *links_.at(ifindex); }
+
+  void set_forwarding(bool on) { forwarding_ = on; }
+  bool forwarding() const { return forwarding_; }
+
+  // --- routing ------------------------------------------------------------
+  void add_route(Ipv4Address prefix, int prefix_len, std::size_t ifindex);
+  void set_default_route(std::size_t ifindex);
+  /// Longest-prefix-match; returns -1 if no route exists.
+  int route_lookup(Ipv4Address dst) const;
+
+  // --- datapath -----------------------------------------------------------
+  /// Sends a packet originated at this node. Stamps uid/timestamp; the
+  /// source address defaults to this node's address when unspecified,
+  /// but a caller-set source is honoured (address spoofing by bots).
+  void send(Packet pkt);
+
+  /// Entry point from links: local delivery or forwarding.
+  void deliver(Packet pkt);
+
+  // --- transports -----------------------------------------------------------
+  UdpHost& udp() { return *udp_; }
+  TcpHost& tcp() { return *tcp_; }
+
+  /// Ephemeral source-port allocator (1024-65535, wraps around).
+  std::uint16_t allocate_ephemeral_port();
+
+  // --- observation ----------------------------------------------------------
+  void add_tap(TapFn tap) { taps_.push_back(std::move(tap)); }
+  const NodeStats& stats() const { return stats_; }
+
+ private:
+  struct RouteEntry {
+    Ipv4Address prefix;
+    int prefix_len;
+    std::size_t ifindex;
+  };
+
+  void run_taps(const Packet& pkt, TapDirection dir);
+
+  Simulator& sim_;
+  std::string name_;
+  Ipv4Address addr_;
+  std::vector<Link*> links_;
+  std::vector<RouteEntry> routes_;
+  int default_route_ = -1;
+  bool forwarding_ = false;
+  std::uint32_t port_rng_state_ = 0x6b8b4567;
+  std::vector<TapFn> taps_;
+  NodeStats stats_;
+  std::unique_ptr<UdpHost> udp_;
+  std::unique_ptr<TcpHost> tcp_;
+};
+
+}  // namespace ddoshield::net

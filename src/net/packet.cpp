@@ -1,0 +1,52 @@
+#include "net/packet.hpp"
+
+#include <sstream>
+
+namespace ddoshield::net {
+
+std::string to_string(TrafficOrigin origin) {
+  switch (origin) {
+    case TrafficOrigin::kHttp: return "http";
+    case TrafficOrigin::kVideo: return "video";
+    case TrafficOrigin::kFtp: return "ftp";
+    case TrafficOrigin::kMiraiScan: return "mirai-scan";
+    case TrafficOrigin::kMiraiC2: return "mirai-c2";
+    case TrafficOrigin::kMiraiSynFlood: return "mirai-syn-flood";
+    case TrafficOrigin::kMiraiAckFlood: return "mirai-ack-flood";
+    case TrafficOrigin::kMiraiUdpFlood: return "mirai-udp-flood";
+    case TrafficOrigin::kInfrastructure: return "infra";
+  }
+  return "?";
+}
+
+TrafficClass traffic_class_of(TrafficOrigin origin) {
+  switch (origin) {
+    case TrafficOrigin::kMiraiScan:
+    case TrafficOrigin::kMiraiC2:
+    case TrafficOrigin::kMiraiSynFlood:
+    case TrafficOrigin::kMiraiAckFlood:
+    case TrafficOrigin::kMiraiUdpFlood:
+      return TrafficClass::kMalicious;
+    default:
+      return TrafficClass::kBenign;
+  }
+}
+
+std::string Packet::summary() const {
+  std::ostringstream os;
+  os << src.to_string() << ':' << src_port << " > " << dst.to_string() << ':' << dst_port
+     << ' ' << (proto == IpProto::kTcp ? "tcp" : "udp");
+  if (proto == IpProto::kTcp) {
+    os << " [";
+    if (has_flag(TcpFlags::kSyn)) os << 'S';
+    if (has_flag(TcpFlags::kAck)) os << 'A';
+    if (has_flag(TcpFlags::kFin)) os << 'F';
+    if (has_flag(TcpFlags::kRst)) os << 'R';
+    if (has_flag(TcpFlags::kPsh)) os << 'P';
+    os << "] seq=" << seq << " ack=" << ack;
+  }
+  os << " len=" << payload_bytes << " origin=" << to_string(origin);
+  return os.str();
+}
+
+}  // namespace ddoshield::net

@@ -1,0 +1,56 @@
+#include "net/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ddoshield::net {
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+
+EventHandle Simulator::schedule(util::SimTime delay, std::function<void()> fn) {
+  if (delay.is_negative()) {
+    throw std::invalid_argument("Simulator::schedule: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(util::SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle{cancelled};
+}
+
+void Simulator::run_until(util::SimTime until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    execute_next();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run_all() {
+  while (!queue_.empty()) execute_next();
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+void Simulator::execute_next() {
+  // priority_queue::top is const; move out via const_cast is UB-adjacent,
+  // so copy the small members and pop before running.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  if (*ev.cancelled) return;
+  ++events_executed_;
+  ev.fn();
+}
+
+}  // namespace ddoshield::net

@@ -1,0 +1,92 @@
+// Discrete-event simulation engine.
+//
+// A single Simulator instance owns the virtual clock and an ordered event
+// queue. Components schedule closures; the engine pops them in (time,
+// insertion-order) order, so simultaneous events run FIFO and runs are
+// deterministic. Events can be cancelled through the returned handle —
+// used heavily by TCP retransmission timers and churn schedules.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace ddoshield::net {
+
+class Simulator;
+
+/// Cancellation handle for a scheduled event. Copyable; cancelling twice
+/// or cancelling after the event ran is a harmless no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel();
+  bool pending() const;
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_{std::move(cancelled)} {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  util::SimTime now() const { return now_; }
+
+  /// Schedules fn to run `delay` after the current time. delay must be >= 0.
+  EventHandle schedule(util::SimTime delay, std::function<void()> fn);
+
+  /// Schedules fn at an absolute simulated time >= now().
+  EventHandle schedule_at(util::SimTime when, std::function<void()> fn);
+
+  /// Runs events until the queue drains or the clock passes `until`.
+  /// Events stamped exactly at `until` do run. Advances the clock to
+  /// `until` even if the queue drained earlier, so periodic samplers
+  /// observe a consistent end time.
+  void run_until(util::SimTime until);
+
+  /// Runs until the event queue is fully drained.
+  void run_all();
+
+  /// Drops every pending event (used by teardown in tests).
+  void clear();
+
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::size_t events_pending() const { return queue_.size(); }
+
+  /// Hands out process-unique packet uids.
+  std::uint64_t next_packet_uid() { return ++packet_uid_; }
+
+ private:
+  struct Event {
+    util::SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;  // min-heap on time
+      return a.seq > b.seq;                          // FIFO among equals
+    }
+  };
+
+  void execute_next();
+
+  util::SimTime now_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::uint64_t packet_uid_ = 0;
+};
+
+}  // namespace ddoshield::net

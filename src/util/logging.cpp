@@ -1,0 +1,29 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace ddoshield::util {
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component, std::string_view message) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  std::cerr << "[" << log_level_name(level) << "] " << component << ": " << message << "\n";
+}
+
+}  // namespace ddoshield::util

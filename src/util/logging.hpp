@@ -1,0 +1,67 @@
+// Minimal leveled logger.
+//
+// The testbed is a library first; logging defaults to Warn so tests and
+// benches stay quiet, and examples crank it up for narration. The logger is
+// process-global by design — it carries no simulation state.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ddoshield::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Returns the printable name of a level, e.g. "INFO".
+std::string_view log_level_name(LogLevel level);
+
+/// Substitutes each "{}" in `fmt` with the next argument, streamed via
+/// operator<<. Extra "{}" render literally once arguments run out.
+/// (std::format is unavailable on the minimum supported toolchain.)
+template <typename... Args>
+std::string format_braces(std::string_view fmt, const Args&... args) {
+  std::ostringstream os;
+  std::size_t pos = 0;
+  auto emit_one = [&](const auto& arg) {
+    const std::size_t brace = fmt.find("{}", pos);
+    if (brace == std::string_view::npos) {
+      return;  // more args than placeholders: ignore the extras
+    }
+    os << fmt.substr(pos, brace - pos) << arg;
+    pos = brace + 2;
+  };
+  (emit_one(args), ...);
+  os << fmt.substr(pos);
+  return os.str();
+}
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+
+  /// Writes one line: "[LEVEL] component: message".
+  void write(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+/// Formats and logs at the given level if enabled. Usage:
+///   log(LogLevel::kInfo, "tcp", "retransmit seq={}", seq);
+template <typename... Args>
+void log(LogLevel level, std::string_view component, std::string_view fmt,
+         const Args&... args) {
+  auto& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  logger.write(level, component, format_braces(fmt, args...));
+}
+
+}  // namespace ddoshield::util

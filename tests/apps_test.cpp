@@ -1,0 +1,308 @@
+// Tests for the benign traffic applications (HTTP, video streaming, FTP).
+#include <gtest/gtest.h>
+
+#include "apps/ftp.hpp"
+#include "apps/http.hpp"
+#include "apps/video.hpp"
+#include "container/runtime.hpp"
+#include "net/network.hpp"
+
+namespace ddoshield::apps {
+namespace {
+
+using util::Rng;
+using util::SimTime;
+
+// A two-node world: one server container, one client container.
+struct AppsFixture : ::testing::Test {
+  net::Network net;
+  net::Node* server_node = nullptr;
+  net::Node* client_node = nullptr;
+  container::ContainerRuntime runtime;
+  container::Container* server_box = nullptr;
+  container::Container* client_box = nullptr;
+
+  void SetUp() override {
+    server_node = &net.add_node("server", net::Ipv4Address{10, 0, 0, 1});
+    client_node = &net.add_node("client", net::Ipv4Address{10, 0, 0, 2});
+    net.add_link(*server_node, *client_node,
+                 net::LinkConfig{.rate_bps = 50e6,
+                                 .delay = SimTime::millis(2),
+                                 .queue_bytes = 256 * 1024});
+    server_node->set_default_route(0);
+    client_node->set_default_route(0);
+
+    runtime.register_image({"test/box", "1", nullptr});
+    server_box = &runtime.create("server", "test/box:1");
+    server_box->attach_node(*server_node);
+    server_box->start();
+    client_box = &runtime.create("client", "test/box:1");
+    client_box->attach_node(*client_node);
+    client_box->start();
+  }
+
+  net::Endpoint server_ep(std::uint16_t port) {
+    return net::Endpoint{server_node->address(), port};
+  }
+};
+
+// --------------------------------------------------------------------------
+// HTTP
+// --------------------------------------------------------------------------
+
+TEST_F(AppsFixture, HttpSessionsCompleteRequests) {
+  HttpServer server{*server_box, Rng{1}};
+  server.start();
+
+  HttpClientConfig cfg;
+  cfg.server = server_ep(80);
+  cfg.session_rate = 1.0;
+  cfg.mean_requests_per_session = 3.0;
+  HttpClient client{*client_box, Rng{2}, cfg};
+  client.start();
+
+  net.simulator().run_until(SimTime::seconds(30));
+  EXPECT_GT(server.requests_served(), 10u);
+  EXPECT_EQ(client.responses_completed(), server.requests_served());
+  EXPECT_EQ(client.bytes_downloaded(), server.bytes_served());
+  EXPECT_GT(client.response_latency().mean(), 0.0);
+  EXPECT_EQ(client.failed_sessions(), 0u);
+}
+
+TEST_F(AppsFixture, HttpResponseSizesAreHeavyTailedButBounded) {
+  HttpServerConfig scfg;
+  scfg.mean_response_bytes = 8 * 1024;
+  HttpServer server{*server_box, Rng{1}, scfg};
+  server.start();
+
+  HttpClientConfig cfg;
+  cfg.server = server_ep(80);
+  cfg.session_rate = 2.0;
+  HttpClient client{*client_box, Rng{2}, cfg};
+  client.start();
+
+  net.simulator().run_until(SimTime::seconds(30));
+  ASSERT_GT(server.requests_served(), 20u);
+  const double mean_response = static_cast<double>(server.bytes_served()) /
+                               static_cast<double>(server.requests_served());
+  EXPECT_GT(mean_response, 1024.0);
+  EXPECT_LT(mean_response, 256.0 * 1024.0);
+}
+
+TEST_F(AppsFixture, HttpClientFailsWhenServerAbsent) {
+  HttpClientConfig cfg;
+  cfg.server = server_ep(80);  // nobody listening
+  cfg.session_rate = 2.0;
+  HttpClient client{*client_box, Rng{2}, cfg};
+  client.start();
+  net.simulator().run_until(SimTime::seconds(10));
+  EXPECT_EQ(client.responses_completed(), 0u);
+  EXPECT_GT(client.failed_sessions(), 0u);
+}
+
+TEST_F(AppsFixture, HttpStopsCleanlyMidTraffic) {
+  HttpServer server{*server_box, Rng{1}};
+  server.start();
+  HttpClientConfig cfg;
+  cfg.server = server_ep(80);
+  cfg.session_rate = 5.0;
+  HttpClient client{*client_box, Rng{2}, cfg};
+  client.start();
+
+  net.simulator().run_until(SimTime::seconds(5));
+  client.stop();
+  server.stop();
+  // The simulation must drain without crashes or stuck retransmit loops.
+  net.simulator().run_until(SimTime::seconds(40));
+  EXPECT_FALSE(client.running());
+}
+
+TEST_F(AppsFixture, HttpTrafficCarriesHttpOrigin) {
+  HttpServer server{*server_box, Rng{1}};
+  server.start();
+  HttpClientConfig cfg;
+  cfg.server = server_ep(80);
+  cfg.session_rate = 2.0;
+  HttpClient client{*client_box, Rng{2}, cfg};
+  client.start();
+
+  std::size_t http_origin = 0;
+  std::size_t total = 0;
+  server_node->add_tap([&](const net::Packet& p, net::TapDirection) {
+    ++total;
+    http_origin += p.origin == net::TrafficOrigin::kHttp;
+  });
+  net.simulator().run_until(SimTime::seconds(10));
+  ASSERT_GT(total, 0u);
+  EXPECT_EQ(http_origin, total);
+}
+
+// --------------------------------------------------------------------------
+// Video
+// --------------------------------------------------------------------------
+
+TEST_F(AppsFixture, VideoStreamsChunksUntilViewerLeaves) {
+  VideoServer server{*server_box, Rng{1}};
+  server.start();
+
+  VideoClientConfig cfg;
+  cfg.server = server_ep(1935);
+  cfg.session_rate = 0.5;
+  cfg.mean_watch_seconds = 5.0;
+  VideoClient client{*client_box, Rng{2}, cfg};
+  client.start();
+
+  net.simulator().run_until(SimTime::seconds(40));
+  EXPECT_GT(server.streams_started(), 2u);
+  EXPECT_GT(server.chunks_sent(), 20u);
+  EXPECT_GT(client.bytes_received(), 20u * 4096u);
+  EXPECT_EQ(client.sessions_started(), server.streams_started());
+}
+
+TEST_F(AppsFixture, VideoChunkCadenceMatchesConfig) {
+  VideoServerConfig scfg;
+  scfg.chunk_bytes = 2048;
+  scfg.chunk_interval = SimTime::millis(50);
+  VideoServer server{*server_box, Rng{1}, scfg};
+  server.start();
+
+  // Drive exactly one viewer session by hand so the cadence is isolated.
+  auto conn = client_node->tcp().connect(server_ep(1935), net::TrafficOrigin::kVideo);
+  conn->set_on_connected([&] { conn->send(96, "PLAY stream-1"); });
+  net.simulator().run_until(SimTime::seconds(10));
+  // ~20 chunks/s once the PLAY lands (a few ms in).
+  EXPECT_GT(server.chunks_sent(), 150u);
+  EXPECT_LT(server.chunks_sent(), 230u);
+  EXPECT_EQ(server.streams_started(), 1u);
+}
+
+TEST_F(AppsFixture, VideoServerStopsStreamingWhenStopped) {
+  VideoServer server{*server_box, Rng{1}};
+  server.start();
+  VideoClientConfig cfg;
+  cfg.server = server_ep(1935);
+  cfg.session_rate = 5.0;
+  VideoClient client{*client_box, Rng{2}, cfg};
+  client.start();
+
+  net.simulator().run_until(SimTime::seconds(5));
+  const auto chunks_at_stop = server.chunks_sent();
+  ASSERT_GT(chunks_at_stop, 0u);
+  server.stop();
+  net.simulator().run_until(SimTime::seconds(10));
+  EXPECT_EQ(server.chunks_sent(), chunks_at_stop);
+}
+
+// --------------------------------------------------------------------------
+// FTP
+// --------------------------------------------------------------------------
+
+TEST_F(AppsFixture, FtpDownloadsCompleteOverDataConnections) {
+  FtpServerConfig scfg;
+  scfg.mean_file_bytes = 64 * 1024;
+  FtpServer server{*server_box, Rng{1}, scfg};
+  server.start();
+
+  FtpClientConfig cfg;
+  cfg.server = server_ep(21);
+  cfg.session_rate = 0.5;
+  cfg.mean_files_per_session = 2.0;
+  cfg.mean_pause_seconds = 0.5;
+  FtpClient client{*client_box, Rng{2}, cfg};
+  client.start();
+
+  net.simulator().run_until(SimTime::seconds(60));
+  EXPECT_GT(client.downloads_completed(), 3u);
+  // The cut-off can strand a transfer mid-confirmation; both sides must
+  // otherwise agree.
+  EXPECT_GE(client.downloads_completed(), server.transfers_completed());
+  EXPECT_LE(client.downloads_completed() - server.transfers_completed(), 3u);
+  EXPECT_GE(client.bytes_downloaded(), client.downloads_completed() * 1024u);
+  EXPECT_EQ(client.failed_downloads(), 0u);
+}
+
+TEST_F(AppsFixture, FtpUsesSeparateDataPort) {
+  FtpServer server{*server_box, Rng{1}};
+  server.start();
+  FtpClientConfig cfg;
+  cfg.server = server_ep(21);
+  cfg.session_rate = 1.0;
+  cfg.mean_files_per_session = 1.0;
+  FtpClient client{*client_box, Rng{2}, cfg};
+  client.start();
+
+  bool saw_data_port = false;
+  server_node->add_tap([&](const net::Packet& p, net::TapDirection dir) {
+    if (dir == net::TapDirection::kReceived && p.proto == net::IpProto::kTcp &&
+        p.dst_port != 21 && p.has_flag(net::TcpFlags::kSyn)) {
+      saw_data_port = true;
+    }
+  });
+  net.simulator().run_until(SimTime::seconds(30));
+  ASSERT_GT(client.downloads_completed(), 0u);
+  EXPECT_TRUE(saw_data_port);
+}
+
+TEST_F(AppsFixture, FtpClientFailsGracefullyWithoutServer) {
+  FtpClientConfig cfg;
+  cfg.server = server_ep(21);
+  cfg.session_rate = 2.0;
+  FtpClient client{*client_box, Rng{2}, cfg};
+  client.start();
+  net.simulator().run_until(SimTime::seconds(15));
+  EXPECT_EQ(client.downloads_completed(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// App base behaviour
+// --------------------------------------------------------------------------
+
+TEST_F(AppsFixture, ContainerStopStopsApps) {
+  HttpServer server{*server_box, Rng{1}};
+  server.start();
+  EXPECT_TRUE(server.running());
+  server_box->stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_F(AppsFixture, AppStartIsIdempotent) {
+  HttpServer server{*server_box, Rng{1}};
+  server.start();
+  EXPECT_NO_THROW(server.start());
+  EXPECT_TRUE(server.running());
+}
+
+TEST_F(AppsFixture, MixedWorkloadsShareTheLink) {
+  HttpServer http_server{*server_box, Rng{1}};
+  http_server.start();
+  VideoServer video_server{*server_box, Rng{2}};
+  video_server.start();
+  FtpServer ftp_server{*server_box, Rng{3}};
+  ftp_server.start();
+
+  HttpClientConfig hcfg;
+  hcfg.server = server_ep(80);
+  hcfg.session_rate = 1.0;
+  HttpClient http_client{*client_box, Rng{4}, hcfg};
+  http_client.start();
+
+  VideoClientConfig vcfg;
+  vcfg.server = server_ep(1935);
+  vcfg.session_rate = 0.3;
+  VideoClient video_client{*client_box, Rng{5}, vcfg};
+  video_client.start();
+
+  FtpClientConfig fcfg;
+  fcfg.server = server_ep(21);
+  fcfg.session_rate = 0.2;
+  FtpClient ftp_client{*client_box, Rng{6}, fcfg};
+  ftp_client.start();
+
+  net.simulator().run_until(SimTime::seconds(60));
+  EXPECT_GT(http_client.responses_completed(), 0u);
+  EXPECT_GT(video_client.bytes_received(), 0u);
+  EXPECT_GT(ftp_client.downloads_completed(), 0u);
+}
+
+}  // namespace
+}  // namespace ddoshield::apps

@@ -1,0 +1,210 @@
+// Tests for the container runtime emulation.
+#include <gtest/gtest.h>
+
+#include "container/runtime.hpp"
+#include "net/network.hpp"
+
+namespace ddoshield::container {
+namespace {
+
+struct RuntimeFixture : ::testing::Test {
+  net::Network net;
+  net::Node* node = nullptr;
+  ContainerRuntime runtime;
+
+  void SetUp() override {
+    node = &net.add_node("host", net::Ipv4Address{10, 0, 0, 1});
+    runtime.register_image({"test/image", "1.0", nullptr});
+  }
+};
+
+TEST_F(RuntimeFixture, ImageRegistryRoundTrip) {
+  EXPECT_TRUE(runtime.has_image("test/image:1.0"));
+  EXPECT_FALSE(runtime.has_image("test/image:2.0"));
+  EXPECT_EQ(runtime.image("test/image:1.0").name, "test/image");
+  EXPECT_THROW(runtime.image("nope:1.0"), std::invalid_argument);
+}
+
+TEST_F(RuntimeFixture, ImageRefCombinesNameAndTag) {
+  Image img{"a/b", "3.1", nullptr};
+  EXPECT_EQ(img.ref(), "a/b:3.1");
+}
+
+TEST_F(RuntimeFixture, CreateStartStopLifecycle) {
+  Container& c = runtime.create("c1", "test/image:1.0");
+  EXPECT_EQ(c.state(), ContainerState::kCreated);
+  c.attach_node(*node);
+  c.start();
+  EXPECT_EQ(c.state(), ContainerState::kRunning);
+  EXPECT_EQ(runtime.running_count(), 1u);
+  c.stop();
+  EXPECT_EQ(c.state(), ContainerState::kStopped);
+  EXPECT_EQ(runtime.running_count(), 0u);
+}
+
+TEST_F(RuntimeFixture, EntrypointRunsOnStart) {
+  bool ran = false;
+  runtime.register_image({"test/entry", "1", [&ran](Container&) { ran = true; }});
+  Container& c = runtime.create("c2", "test/entry:1");
+  c.attach_node(*node);
+  EXPECT_FALSE(ran);
+  c.start();
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(RuntimeFixture, StartWithoutNodeThrows) {
+  Container& c = runtime.create("c3", "test/image:1.0");
+  EXPECT_THROW(c.start(), std::logic_error);
+}
+
+TEST_F(RuntimeFixture, DoubleStartThrows) {
+  Container& c = runtime.create("c4", "test/image:1.0");
+  c.attach_node(*node);
+  c.start();
+  EXPECT_THROW(c.start(), std::logic_error);
+}
+
+TEST_F(RuntimeFixture, RebindingRunningContainerThrows) {
+  Container& c = runtime.create("c5", "test/image:1.0");
+  c.attach_node(*node);
+  c.start();
+  EXPECT_THROW(c.attach_node(*node), std::logic_error);
+}
+
+TEST_F(RuntimeFixture, DuplicateNameRejected) {
+  runtime.create("dup", "test/image:1.0");
+  EXPECT_THROW(runtime.create("dup", "test/image:1.0"), std::invalid_argument);
+}
+
+TEST_F(RuntimeFixture, UnknownImageRejected) {
+  EXPECT_THROW(runtime.create("x", "missing:0"), std::invalid_argument);
+}
+
+TEST_F(RuntimeFixture, RemoveStopsAndErases) {
+  Container& c = runtime.create("c6", "test/image:1.0");
+  c.attach_node(*node);
+  c.start();
+  runtime.remove("c6");
+  EXPECT_FALSE(runtime.exists("c6"));
+  EXPECT_THROW(runtime.get("c6"), std::invalid_argument);
+  EXPECT_THROW(runtime.remove("c6"), std::invalid_argument);
+}
+
+TEST_F(RuntimeFixture, StopHooksRunOnceInOrder) {
+  Container& c = runtime.create("c7", "test/image:1.0");
+  c.attach_node(*node);
+  c.start();
+  std::vector<int> order;
+  c.on_stop([&] { order.push_back(1); });
+  c.on_stop([&] { order.push_back(2); });
+  c.stop();
+  c.stop();  // second stop is a no-op
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(RuntimeFixture, StopAllStopsEverything) {
+  for (int i = 0; i < 3; ++i) {
+    Container& c = runtime.create("m" + std::to_string(i), "test/image:1.0");
+    c.attach_node(*node);
+    c.start();
+  }
+  EXPECT_EQ(runtime.running_count(), 3u);
+  runtime.stop_all();
+  EXPECT_EQ(runtime.running_count(), 0u);
+  EXPECT_EQ(runtime.list().size(), 3u);
+}
+
+TEST_F(RuntimeFixture, EnvVariables) {
+  Container& c = runtime.create("env", "test/image:1.0");
+  c.set_env("C2_ADDR", "10.0.0.2");
+  EXPECT_EQ(c.env("C2_ADDR"), "10.0.0.2");
+  EXPECT_EQ(c.env("MISSING", "fallback"), "fallback");
+  EXPECT_EQ(c.env("MISSING"), "");
+}
+
+TEST_F(RuntimeFixture, NodeAccessWithoutAttachThrows) {
+  Container& c = runtime.create("n", "test/image:1.0");
+  EXPECT_THROW(c.node(), std::logic_error);
+  c.attach_node(*node);
+  EXPECT_EQ(&c.node(), node);
+}
+
+// --------------------------------------------------------------------------
+// ResourceAccount
+// --------------------------------------------------------------------------
+
+TEST(ResourceAccountTest, CpuCounters) {
+  ResourceAccount acc;
+  acc.charge_cpu_ops(100);
+  acc.charge_cpu_ops(50);
+  acc.charge_cpu_time_ns(1000);
+  EXPECT_EQ(acc.cpu_ops(), 150u);
+  EXPECT_EQ(acc.cpu_time_ns(), 1000u);
+}
+
+TEST(ResourceAccountTest, HeapTracksPeak) {
+  ResourceAccount acc;
+  acc.alloc(1000);
+  acc.alloc(500);
+  EXPECT_EQ(acc.heap_bytes(), 1500u);
+  acc.free(1200);
+  EXPECT_EQ(acc.heap_bytes(), 300u);
+  EXPECT_EQ(acc.peak_heap_bytes(), 1500u);
+}
+
+TEST(ResourceAccountTest, OverFreeThrows) {
+  ResourceAccount acc;
+  acc.alloc(10);
+  EXPECT_THROW(acc.free(11), std::logic_error);
+}
+
+TEST(ResourceAccountTest, ResetClearsEverything) {
+  ResourceAccount acc;
+  acc.alloc(10);
+  acc.charge_cpu_ops(5);
+  acc.reset();
+  EXPECT_EQ(acc.heap_bytes(), 0u);
+  EXPECT_EQ(acc.peak_heap_bytes(), 0u);
+  EXPECT_EQ(acc.cpu_ops(), 0u);
+}
+
+TEST(ResourceAccountTest, SummaryMentionsFields) {
+  ResourceAccount acc;
+  acc.alloc(2048);
+  const std::string s = acc.summary();
+  EXPECT_NE(s.find("heap_kb=2"), std::string::npos);
+}
+
+TEST(ScopedAllocationTest, RaiiChargesAndReleases) {
+  ResourceAccount acc;
+  {
+    ScopedAllocation a{acc, 4096};
+    EXPECT_EQ(acc.heap_bytes(), 4096u);
+  }
+  EXPECT_EQ(acc.heap_bytes(), 0u);
+  EXPECT_EQ(acc.peak_heap_bytes(), 4096u);
+}
+
+TEST(ScopedAllocationTest, MoveTransfersOwnership) {
+  ResourceAccount acc;
+  ScopedAllocation a{acc, 100};
+  ScopedAllocation b{std::move(a)};
+  EXPECT_EQ(acc.heap_bytes(), 100u);
+  ScopedAllocation c;
+  c = std::move(b);
+  EXPECT_EQ(acc.heap_bytes(), 100u);
+}
+
+TEST(ScopedAllocationTest, ResizeAdjustsCharge) {
+  ResourceAccount acc;
+  ScopedAllocation a{acc, 100};
+  a.resize(250);
+  EXPECT_EQ(acc.heap_bytes(), 250u);
+  a.resize(50);
+  EXPECT_EQ(acc.heap_bytes(), 50u);
+  ScopedAllocation empty;
+  EXPECT_THROW(empty.resize(10), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ddoshield::container

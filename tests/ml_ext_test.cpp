@@ -1,0 +1,359 @@
+// Tests for the §V/§VI extension models: linear SVM, Isolation Forest,
+// feature selection, and federated (FedAvg) CNN training.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/feature_selection.hpp"
+#include "ml/federated.hpp"
+#include "ml/isolation_forest.hpp"
+#include "ml/model_store.hpp"
+#include "ml/svm.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ddoshield::ml {
+namespace {
+
+using util::Rng;
+
+void make_blobs(std::size_t n, std::size_t dims, double separation, Rng& rng,
+                DesignMatrix& x, std::vector<int>& y) {
+  x = DesignMatrix{dims};
+  y.clear();
+  std::vector<double> row(dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    for (std::size_t d = 0; d < dims; ++d) {
+      row[d] = rng.normal(cls == 0 ? 0.0 : separation, 1.0);
+    }
+    x.add_row(row);
+    y.push_back(cls);
+  }
+}
+
+double accuracy_on(const Classifier& model, const DesignMatrix& x, const std::vector<int>& y) {
+  const auto pred = model.predict_batch(x);
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) ok += pred[i] == y[i];
+  return static_cast<double>(ok) / static_cast<double>(y.size());
+}
+
+// --------------------------------------------------------------------------
+// LinearSvm
+// --------------------------------------------------------------------------
+
+TEST(SvmTest, SeparatesBlobs) {
+  DesignMatrix x{5};
+  std::vector<int> y;
+  Rng rng{31};
+  make_blobs(1000, 5, 3.0, rng, x, y);
+  LinearSvm svm;
+  svm.fit(x, y);
+  EXPECT_TRUE(svm.trained());
+  EXPECT_GT(accuracy_on(svm, x, y), 0.95);
+}
+
+TEST(SvmTest, DecisionValueSignMatchesPrediction) {
+  DesignMatrix x{3};
+  std::vector<int> y;
+  Rng rng{32};
+  make_blobs(400, 3, 3.0, rng, x, y);
+  LinearSvm svm;
+  svm.fit(x, y);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double v = svm.decision_value(x.row(i));
+    EXPECT_EQ(svm.predict(x.row(i)), v > 0.0 ? 1 : 0);
+  }
+}
+
+TEST(SvmTest, Validation) {
+  EXPECT_THROW(LinearSvm(SvmConfig{.lambda = 0.0}), std::invalid_argument);
+  EXPECT_THROW(LinearSvm(SvmConfig{.epochs = 0}), std::invalid_argument);
+  LinearSvm svm;
+  EXPECT_FALSE(svm.trained());
+  EXPECT_THROW(svm.predict(std::vector<double>{1.0}), std::logic_error);
+  EXPECT_THROW(svm.fit(DesignMatrix{}, {}), std::invalid_argument);
+}
+
+TEST(SvmTest, SerializationRoundTrip) {
+  DesignMatrix x{4};
+  std::vector<int> y;
+  Rng rng{33};
+  make_blobs(300, 4, 3.0, rng, x, y);
+  LinearSvm svm;
+  svm.fit(x, y);
+  const auto bytes = serialize_model(svm);
+  const auto loaded = deserialize_model(bytes);
+  EXPECT_EQ(loaded->name(), "svm");
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(loaded->predict(x.row(i)), svm.predict(x.row(i)));
+  }
+  // SVMs are tiny: weights + bias + scaler.
+  EXPECT_LT(bytes.size(), 4096u);
+}
+
+// --------------------------------------------------------------------------
+// IsolationForest
+// --------------------------------------------------------------------------
+
+TEST(IsolationForestTest, CNormMatchesKnownValues) {
+  EXPECT_DOUBLE_EQ(isolation_c_norm(0), 0.0);
+  EXPECT_DOUBLE_EQ(isolation_c_norm(1), 0.0);
+  // c(2) = 2*H(1) - 2*(1/2) = 2*0.5772... - 1 ~ 0.154 with the Euler
+  // approximation of H(1); the classic paper uses the same approximation.
+  EXPECT_NEAR(isolation_c_norm(2), 2.0 * 0.5772156649 - 1.0, 0.01);
+  EXPECT_NEAR(isolation_c_norm(256), 10.24, 0.3);
+}
+
+TEST(IsolationForestTest, AnomaliesScoreHigherThanInliers) {
+  // Dense inlier cluster + scattered anomalies.
+  DesignMatrix x{4};
+  std::vector<int> y;
+  Rng rng{34};
+  std::vector<double> row(4);
+  for (int i = 0; i < 2000; ++i) {
+    const bool anomaly = i % 20 == 0;  // 5%
+    for (auto& v : row) v = anomaly ? rng.uniform(-12.0, 12.0) : rng.normal(0.0, 1.0);
+    x.add_row(row);
+    y.push_back(anomaly ? 1 : 0);
+  }
+  IsolationForest forest;
+  forest.fit(x, y);
+  EXPECT_TRUE(forest.trained());
+
+  util::OnlineStats inlier_scores, anomaly_scores;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    (y[i] ? anomaly_scores : inlier_scores).add(forest.anomaly_score(x.row(i)));
+  }
+  EXPECT_GT(anomaly_scores.mean(), inlier_scores.mean() + 0.1);
+  EXPECT_GT(accuracy_on(forest, x, y), 0.9);
+}
+
+TEST(IsolationForestTest, ScoresAreInUnitInterval) {
+  DesignMatrix x{3};
+  std::vector<int> y;
+  Rng rng{35};
+  make_blobs(600, 3, 4.0, rng, x, y);
+  IsolationForest forest{IsolationForestConfig{.n_trees = 25}};
+  forest.fit(x, y);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const double s = forest.anomaly_score(x.row(i));
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(IsolationForestTest, Validation) {
+  EXPECT_THROW(IsolationForest(IsolationForestConfig{.n_trees = 0}), std::invalid_argument);
+  EXPECT_THROW(IsolationForest(IsolationForestConfig{.subsample = 1}), std::invalid_argument);
+  IsolationForest forest;
+  EXPECT_THROW(forest.predict(std::vector<double>{1.0}), std::logic_error);
+  DesignMatrix tiny{1};
+  tiny.add_row(std::vector<double>{1.0});
+  EXPECT_THROW(forest.fit(tiny, {0}), std::invalid_argument);
+}
+
+TEST(IsolationForestTest, SerializationRoundTrip) {
+  DesignMatrix x{3};
+  std::vector<int> y;
+  Rng rng{36};
+  make_blobs(600, 3, 5.0, rng, x, y);
+  IsolationForest forest{IsolationForestConfig{.n_trees = 20}};
+  forest.fit(x, y);
+  const auto bytes = serialize_model(forest);
+  const auto loaded = deserialize_model(bytes);
+  EXPECT_EQ(loaded->name(), "iforest");
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(loaded->predict(x.row(i)), forest.predict(x.row(i)));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Feature selection
+// --------------------------------------------------------------------------
+
+TEST(FeatureSelectionTest, RanksInformativeFeaturesFirst) {
+  // Feature 0: strong signal; feature 1: weak signal; features 2,3: noise.
+  DesignMatrix x{4};
+  std::vector<int> y;
+  Rng rng{37};
+  std::vector<double> row(4);
+  for (int i = 0; i < 3000; ++i) {
+    const int cls = i % 2;
+    row[0] = rng.normal(cls * 5.0, 1.0);
+    row[1] = rng.normal(cls * 0.5, 1.0);
+    row[2] = rng.normal(0.0, 1.0);
+    row[3] = rng.uniform(0.0, 1.0);
+    x.add_row(row);
+    y.push_back(cls);
+  }
+  const auto ranking = rank_features(x, y);
+  ASSERT_EQ(ranking.size(), 4u);
+  EXPECT_EQ(ranking[0].index, 0u);
+  EXPECT_EQ(ranking[1].index, 1u);
+  EXPECT_GT(ranking[0].score, ranking[1].score);
+  EXPECT_GT(ranking[1].score, ranking[2].score);
+}
+
+TEST(FeatureSelectionTest, ConstantFeatureScoresZero) {
+  DesignMatrix x{2};
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) {
+    x.add_row(std::vector<double>{7.0, static_cast<double>(i % 2)});
+    y.push_back(i % 2);
+  }
+  const auto ranking = rank_features(x, y);
+  EXPECT_EQ(ranking.back().index, 0u);
+  EXPECT_EQ(ranking.back().score, 0.0);
+}
+
+TEST(FeatureSelectionTest, SelectColumnsAndTopK) {
+  DesignMatrix x{3};
+  x.add_row(std::vector<double>{1, 2, 3});
+  x.add_row(std::vector<double>{4, 5, 6});
+  const DesignMatrix sub = select_columns(x, {2, 0});
+  EXPECT_EQ(sub.cols(), 2u);
+  EXPECT_DOUBLE_EQ(sub.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sub.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(sub.at(1, 0), 6.0);
+  EXPECT_THROW(select_columns(x, {}), std::invalid_argument);
+  EXPECT_THROW(select_columns(x, {5}), std::out_of_range);
+
+  std::vector<FeatureScore> ranking{{2, 0.9}, {0, 0.5}, {1, 0.1}};
+  EXPECT_EQ(top_k_columns(ranking, 2), (std::vector<std::size_t>{2, 0}));
+  EXPECT_THROW(top_k_columns(ranking, 0), std::invalid_argument);
+  EXPECT_THROW(top_k_columns(ranking, 4), std::invalid_argument);
+}
+
+TEST(FeatureSelectionTest, SubsetClassifierMatchesDirectUse) {
+  DesignMatrix x{6};
+  std::vector<int> y;
+  Rng rng{38};
+  make_blobs(800, 6, 3.0, rng, x, y);
+  const auto ranking = rank_features(x, y);
+  const auto columns = top_k_columns(ranking, 3);
+  const DesignMatrix reduced = select_columns(x, columns);
+
+  LinearSvm svm;
+  svm.fit(reduced, y);
+  ColumnSubsetClassifier wrapped{svm, columns};
+  EXPECT_EQ(wrapped.columns(), columns);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(wrapped.predict(x.row(i)), svm.predict(reduced.row(i)));
+  }
+  EXPECT_THROW(wrapped.fit(x, y), std::logic_error);
+  EXPECT_THROW(wrapped.predict(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(FeatureSelectionTest, TopFeaturesRetainAccuracy) {
+  DesignMatrix x{8};
+  std::vector<int> y;
+  Rng rng{39};
+  make_blobs(1500, 8, 2.5, rng, x, y);
+  LinearSvm full;
+  full.fit(x, y);
+
+  const auto columns = top_k_columns(rank_features(x, y), 4);
+  const DesignMatrix reduced = select_columns(x, columns);
+  LinearSvm half;
+  half.fit(reduced, y);
+
+  EXPECT_GT(accuracy_on(half, reduced, y), accuracy_on(full, x, y) - 0.05);
+}
+
+// --------------------------------------------------------------------------
+// Federated CNN (FedAvg)
+// --------------------------------------------------------------------------
+
+TEST(CnnParametersTest, GetSetRoundTrip) {
+  DesignMatrix x{6};
+  std::vector<int> y;
+  Rng rng{40};
+  make_blobs(300, 6, 3.0, rng, x, y);
+  Cnn1D cnn{CnnConfig{.filters = 2, .hidden = 8, .epochs = 1}};
+  cnn.fit(x, y);
+  auto params = cnn.parameters();
+  EXPECT_EQ(params.size(), cnn.parameter_count());
+
+  Cnn1D other{CnnConfig{.filters = 2, .hidden = 8, .epochs = 1}};
+  StandardScaler scaler;
+  scaler.fit(x);
+  other.initialize(x.cols(), scaler);
+  other.set_parameters(params);
+  // Identical parameters, identical scaler source => identical predictions.
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(other.predict(x.row(i)), cnn.predict(x.row(i)));
+  }
+  params.pop_back();
+  EXPECT_THROW(other.set_parameters(params), std::invalid_argument);
+}
+
+TEST(CnnParametersTest, TrainEpochsRequiresInitialize) {
+  Cnn1D cnn{CnnConfig{.filters = 2, .hidden = 8}};
+  DesignMatrix x{4};
+  x.add_row(std::vector<double>{1, 2, 3, 4});
+  EXPECT_THROW(cnn.train_epochs(x, {0}, 1), std::logic_error);
+}
+
+TEST(FederatedTest, ShardDatasetSplitsEvenly) {
+  DesignMatrix x{2};
+  std::vector<int> y;
+  for (int i = 0; i < 10; ++i) {
+    x.add_row(std::vector<double>{static_cast<double>(i), 0.0});
+    y.push_back(i % 2);
+  }
+  std::vector<DesignMatrix> xs;
+  std::vector<std::vector<int>> ys;
+  shard_dataset(x, y, 3, xs, ys);
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_EQ(xs[0].rows(), 4u);
+  EXPECT_EQ(xs[1].rows(), 3u);
+  EXPECT_EQ(xs[2].rows(), 3u);
+  EXPECT_DOUBLE_EQ(xs[1].at(0, 0), 1.0);  // row 1 went to shard 1
+  EXPECT_THROW(shard_dataset(x, y, 0, xs, ys), std::invalid_argument);
+}
+
+TEST(FederatedTest, FedAvgLearnsAcrossClients) {
+  DesignMatrix x{6};
+  std::vector<int> y;
+  Rng rng{41};
+  make_blobs(1800, 6, 2.5, rng, x, y);
+
+  std::vector<DesignMatrix> xs;
+  std::vector<std::vector<int>> ys;
+  shard_dataset(x, y, 3, xs, ys);
+  std::vector<FederatedShard> shards;
+  for (std::size_t c = 0; c < 3; ++c) shards.push_back({&xs[c], &ys[c]});
+
+  StandardScaler scaler;
+  scaler.fit(x);  // the shared calibration artifact
+
+  FederatedConfig cfg;
+  cfg.rounds = 4;
+  cfg.local_epochs = 1;
+  cfg.cnn = CnnConfig{.filters = 4, .hidden = 16};
+  FederatedCnnTrainer trainer{cfg};
+  Cnn1D global = trainer.train(shards, scaler);
+
+  EXPECT_GT(accuracy_on(global, x, y), 0.9);
+  EXPECT_EQ(trainer.round_stats().size(), 4u);
+  // Updates shrink as the model converges.
+  EXPECT_LT(trainer.round_stats().back().mean_parameter_delta,
+            trainer.round_stats().front().mean_parameter_delta);
+}
+
+TEST(FederatedTest, Validation) {
+  EXPECT_THROW(FederatedCnnTrainer(FederatedConfig{.rounds = 0}), std::invalid_argument);
+  FederatedCnnTrainer trainer;
+  StandardScaler scaler;
+  EXPECT_THROW(trainer.train({}, scaler), std::invalid_argument);
+}
+
+TEST(ModelStoreExtTest, NewModelsRegistered) {
+  EXPECT_EQ(make_model("svm")->name(), "svm");
+  EXPECT_EQ(make_model("iforest")->name(), "iforest");
+}
+
+}  // namespace
+}  // namespace ddoshield::ml

@@ -1,0 +1,409 @@
+// Tests for the discrete-event engine, links, nodes/routing, and UDP.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "net/simulator.hpp"
+#include "net/udp.hpp"
+
+namespace ddoshield::net {
+namespace {
+
+using util::SimTime;
+
+// --------------------------------------------------------------------------
+// Ipv4Address
+// --------------------------------------------------------------------------
+
+TEST(Ipv4AddressTest, ParseAndFormatRoundTrip) {
+  const auto a = Ipv4Address::parse("192.168.1.42");
+  EXPECT_EQ(a.to_string(), "192.168.1.42");
+  EXPECT_EQ(a, Ipv4Address(192, 168, 1, 42));
+}
+
+TEST(Ipv4AddressTest, ParseRejectsMalformed) {
+  EXPECT_THROW(Ipv4Address::parse(""), std::invalid_argument);
+  EXPECT_THROW(Ipv4Address::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Address::parse("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Address::parse("256.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Address::parse("1.2.3.x"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Address::parse("1..2.3"), std::invalid_argument);
+}
+
+TEST(Ipv4AddressTest, SubnetMatching) {
+  const auto a = Ipv4Address(10, 0, 1, 5);
+  const auto b = Ipv4Address(10, 0, 1, 200);
+  const auto c = Ipv4Address(10, 0, 2, 5);
+  EXPECT_TRUE(a.same_subnet(b, 24));
+  EXPECT_FALSE(a.same_subnet(c, 24));
+  EXPECT_TRUE(a.same_subnet(c, 16));
+  EXPECT_TRUE(a.same_subnet(c, 0));
+  EXPECT_FALSE(a.same_subnet(b, 32));
+  EXPECT_TRUE(a.same_subnet(a, 32));
+}
+
+// --------------------------------------------------------------------------
+// Simulator
+// --------------------------------------------------------------------------
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(SimTime::millis(30), [&] { order.push_back(3); });
+  sim.schedule(SimTime::millis(10), [&] { order.push_back(1); });
+  sim.schedule(SimTime::millis(20), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::millis(30));
+}
+
+TEST(SimulatorTest, SimultaneousEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(SimTime::millis(7), [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(SimTime::millis(10), [&] { ++ran; });
+  sim.schedule(SimTime::millis(50), [&] { ++ran; });
+  sim.run_until(SimTime::millis(20));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), SimTime::millis(20));
+  sim.run_until(SimTime::millis(100));
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.now(), SimTime::millis(100));
+}
+
+TEST(SimulatorTest, EventsScheduledFromEventsRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule(SimTime::millis(1), recurse);
+  };
+  sim.schedule(SimTime::millis(1), recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), SimTime::millis(5));
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotRun) {
+  Simulator sim;
+  bool ran = false;
+  auto h = sim.schedule(SimTime::millis(5), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run_all();
+  EXPECT_FALSE(ran);
+  h.cancel();  // double cancel is a no-op
+}
+
+TEST(SimulatorTest, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.run_until(SimTime::seconds(1));
+  EXPECT_THROW(sim.schedule_at(SimTime::millis(500), [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule(SimTime::millis(-1), [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule(SimTime::millis(i), [] {});
+  EXPECT_EQ(sim.events_pending(), 10u);
+  sim.run_all();
+  EXPECT_EQ(sim.events_executed(), 10u);
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Link + Node datapath
+// --------------------------------------------------------------------------
+
+struct TwoNodeFixture : ::testing::Test {
+  Network net;
+  Node* a = nullptr;
+  Node* b = nullptr;
+  Link* link = nullptr;
+
+  void SetUp() override {
+    a = &net.add_node("a", Ipv4Address{10, 0, 0, 1});
+    b = &net.add_node("b", Ipv4Address{10, 0, 0, 2});
+    link = &net.add_link(*a, *b,
+                         LinkConfig{.rate_bps = 8e6,  // 1 byte/us
+                                    .delay = SimTime::millis(1),
+                                    .queue_bytes = 10000});
+    a->set_default_route(0);
+    b->set_default_route(0);
+  }
+
+  Packet make_udp(std::uint32_t payload) {
+    Packet p;
+    p.dst = b->address();
+    p.proto = IpProto::kUdp;
+    p.dst_port = 9;
+    p.payload_bytes = payload;
+    return p;
+  }
+};
+
+TEST_F(TwoNodeFixture, PacketArrivesAfterSerializationPlusDelay) {
+  auto sock = b->udp().open(9);
+  SimTime arrival;
+  sock->set_receive_callback([&](const Packet&) { arrival = net.simulator().now(); });
+
+  a->send(make_udp(972));  // wire = 972 + 28 = 1000 bytes = 1ms at 8 Mbps
+  net.simulator().run_all();
+  EXPECT_EQ(arrival, SimTime::millis(2));  // 1ms tx + 1ms propagation
+}
+
+TEST_F(TwoNodeFixture, BackToBackPacketsQueueBehindEachOther) {
+  auto sock = b->udp().open(9);
+  std::vector<SimTime> arrivals;
+  sock->set_receive_callback([&](const Packet&) { arrivals.push_back(net.simulator().now()); });
+
+  a->send(make_udp(972));
+  a->send(make_udp(972));
+  net.simulator().run_all();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], SimTime::millis(2));
+  EXPECT_EQ(arrivals[1], SimTime::millis(3));  // queued behind the first
+}
+
+TEST_F(TwoNodeFixture, DropTailRejectsWhenBufferFull) {
+  auto sock = b->udp().open(9);
+  int received = 0;
+  sock->set_receive_callback([&](const Packet&) { ++received; });
+
+  // queue_bytes = 10000; each packet is 1000 wire bytes. The first starts
+  // transmitting immediately; the backlog then grows until drops begin.
+  for (int i = 0; i < 30; ++i) a->send(make_udp(972));
+  net.simulator().run_all();
+  EXPECT_LT(received, 30);
+  EXPECT_GT(received, 5);
+  EXPECT_GT(link->stats_from(*a).dropped_packets, 0u);
+  EXPECT_EQ(link->stats_from(*a).tx_packets + link->stats_from(*a).dropped_packets, 30u);
+}
+
+TEST_F(TwoNodeFixture, DownedLinkDropsEverything) {
+  auto sock = b->udp().open(9);
+  int received = 0;
+  sock->set_receive_callback([&](const Packet&) { ++received; });
+  link->set_up(false);
+  a->send(make_udp(100));
+  net.simulator().run_all();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(link->stats_from(*a).dropped_packets, 1u);
+}
+
+TEST_F(TwoNodeFixture, TapsSeeSentAndReceived) {
+  auto sock = b->udp().open(9);
+  sock->set_receive_callback([](const Packet&) {});
+  int sent_seen = 0, recv_seen = 0;
+  a->add_tap([&](const Packet&, TapDirection d) { sent_seen += d == TapDirection::kSent; });
+  b->add_tap([&](const Packet&, TapDirection d) { recv_seen += d == TapDirection::kReceived; });
+  a->send(make_udp(10));
+  net.simulator().run_all();
+  EXPECT_EQ(sent_seen, 1);
+  EXPECT_EQ(recv_seen, 1);
+}
+
+TEST_F(TwoNodeFixture, SourceAddressDefaultsAndSpoofingHonoured) {
+  auto sock = b->udp().open(9);
+  Ipv4Address seen_src;
+  sock->set_receive_callback([&](const Packet& p) { seen_src = p.src; });
+
+  a->send(make_udp(10));
+  net.simulator().run_all();
+  EXPECT_EQ(seen_src, a->address());
+
+  Packet spoofed = make_udp(10);
+  spoofed.src = Ipv4Address{1, 2, 3, 4};
+  a->send(std::move(spoofed));
+  net.simulator().run_all();
+  EXPECT_EQ(seen_src, (Ipv4Address{1, 2, 3, 4}));
+}
+
+TEST_F(TwoNodeFixture, NoRouteCountsDrop) {
+  Packet p = make_udp(10);
+  p.dst = Ipv4Address{99, 99, 99, 99};
+  // b has a default route, so use a fresh node with none.
+  Node& c = net.add_node("c", Ipv4Address{10, 0, 0, 3});
+  c.send(std::move(p));
+  EXPECT_EQ(c.stats().dropped_no_route, 1u);
+}
+
+// --------------------------------------------------------------------------
+// Routing through the star topology
+// --------------------------------------------------------------------------
+
+TEST(StarTopologyTest, DeviceReachesTServerThroughRouter) {
+  Network net;
+  StarTopology topo = build_star_topology(net, StarTopologyConfig{.device_count = 3});
+
+  auto sock = topo.tserver->udp().open(5000);
+  int received = 0;
+  Ipv4Address last_src;
+  sock->set_receive_callback([&](const Packet& p) {
+    ++received;
+    last_src = p.src;
+  });
+
+  for (Node* dev : topo.devices) {
+    auto s = dev->udp().open();
+    s->send_to(Endpoint{topo.tserver->address(), 5000}, 64, TrafficOrigin::kHttp);
+  }
+  net.simulator().run_all();
+  EXPECT_EQ(received, 3);
+  EXPECT_GT(topo.router->stats().forwarded_packets, 0u);
+}
+
+TEST(StarTopologyTest, TServerCanReplyToDevice) {
+  Network net;
+  StarTopology topo = build_star_topology(net, StarTopologyConfig{.device_count = 2});
+
+  auto server_sock = topo.tserver->udp().open(5000);
+  server_sock->set_receive_callback([&](const Packet& p) {
+    server_sock->send_to(Endpoint{p.src, p.src_port}, 32, TrafficOrigin::kHttp);
+  });
+
+  auto dev_sock = topo.devices[0]->udp().open();
+  int replies = 0;
+  dev_sock->set_receive_callback([&](const Packet&) { ++replies; });
+  dev_sock->send_to(Endpoint{topo.tserver->address(), 5000}, 16, TrafficOrigin::kHttp);
+  net.simulator().run_all();
+  EXPECT_EQ(replies, 1);
+}
+
+TEST(StarTopologyTest, TtlExpiryIsCounted) {
+  Network net;
+  StarTopology topo = build_star_topology(net, StarTopologyConfig{.device_count = 1});
+  Packet p;
+  p.dst = topo.tserver->address();
+  p.dst_port = 7;
+  p.proto = IpProto::kUdp;
+  p.ttl = 1;  // dies at the router
+  topo.devices[0]->send(std::move(p));
+  net.simulator().run_all();
+  EXPECT_EQ(topo.router->stats().dropped_ttl, 1u);
+}
+
+TEST(StarTopologyTest, DuplicateNamesAndAddressesRejected) {
+  Network net;
+  net.add_node("x", Ipv4Address{1, 1, 1, 1});
+  EXPECT_THROW(net.add_node("x", Ipv4Address{1, 1, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(net.add_node("y", Ipv4Address{1, 1, 1, 1}), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// UDP socket layer
+// --------------------------------------------------------------------------
+
+TEST_F(TwoNodeFixture, UdpPortDemultiplexing) {
+  auto s1 = b->udp().open(1000);
+  auto s2 = b->udp().open(2000);
+  int on1 = 0, on2 = 0;
+  s1->set_receive_callback([&](const Packet&) { ++on1; });
+  s2->set_receive_callback([&](const Packet&) { ++on2; });
+
+  auto client = a->udp().open();
+  client->send_to(Endpoint{b->address(), 1000}, 8, TrafficOrigin::kHttp);
+  client->send_to(Endpoint{b->address(), 2000}, 8, TrafficOrigin::kHttp);
+  client->send_to(Endpoint{b->address(), 2000}, 8, TrafficOrigin::kHttp);
+  net.simulator().run_all();
+  EXPECT_EQ(on1, 1);
+  EXPECT_EQ(on2, 2);
+}
+
+TEST_F(TwoNodeFixture, UdpToUnboundPortCountsDrop) {
+  auto client = a->udp().open();
+  client->send_to(Endpoint{b->address(), 4444}, 8, TrafficOrigin::kMiraiUdpFlood);
+  net.simulator().run_all();
+  EXPECT_EQ(b->udp().dropped_no_socket(), 1u);
+  EXPECT_EQ(b->udp().delivered(), 0u);
+}
+
+TEST_F(TwoNodeFixture, UdpDoubleBindThrows) {
+  auto s1 = b->udp().open(1000);
+  EXPECT_THROW(b->udp().open(1000), std::invalid_argument);
+}
+
+TEST_F(TwoNodeFixture, UdpCloseReleasesPort) {
+  auto s1 = b->udp().open(1000);
+  s1->close();
+  EXPECT_FALSE(s1->is_open());
+  EXPECT_NO_THROW(b->udp().open(1000));
+  EXPECT_THROW(s1->send_to(Endpoint{a->address(), 1}, 1, TrafficOrigin::kHttp),
+               std::logic_error);
+}
+
+TEST_F(TwoNodeFixture, EphemeralPortsAreDistinct) {
+  auto s1 = a->udp().open();
+  auto s2 = a->udp().open();
+  auto s3 = a->udp().open();
+  EXPECT_NE(s1->port(), s2->port());
+  EXPECT_NE(s2->port(), s3->port());
+  EXPECT_GE(s1->port(), 1024);
+}
+
+TEST_F(TwoNodeFixture, AppDataRidesOnDatagram) {
+  auto sock = b->udp().open(9);
+  std::string seen;
+  sock->set_receive_callback([&](const Packet& p) { seen = p.app_data; });
+  auto client = a->udp().open();
+  client->send_to(Endpoint{b->address(), 9}, 8, TrafficOrigin::kMiraiC2, "attack syn 10");
+  net.simulator().run_all();
+  EXPECT_EQ(seen, "attack syn 10");
+}
+
+// --------------------------------------------------------------------------
+// Packet helpers
+// --------------------------------------------------------------------------
+
+TEST(PacketTest, WireBytesIncludesHeaders) {
+  Packet tcp;
+  tcp.proto = IpProto::kTcp;
+  tcp.payload_bytes = 100;
+  EXPECT_EQ(tcp.wire_bytes(), 140u);  // 20 IP + 20 TCP + 100
+
+  Packet udp;
+  udp.proto = IpProto::kUdp;
+  udp.payload_bytes = 100;
+  EXPECT_EQ(udp.wire_bytes(), 128u);  // 20 IP + 8 UDP + 100
+}
+
+TEST(PacketTest, TrafficClassOfOrigins) {
+  EXPECT_EQ(traffic_class_of(TrafficOrigin::kHttp), TrafficClass::kBenign);
+  EXPECT_EQ(traffic_class_of(TrafficOrigin::kVideo), TrafficClass::kBenign);
+  EXPECT_EQ(traffic_class_of(TrafficOrigin::kFtp), TrafficClass::kBenign);
+  EXPECT_EQ(traffic_class_of(TrafficOrigin::kInfrastructure), TrafficClass::kBenign);
+  EXPECT_EQ(traffic_class_of(TrafficOrigin::kMiraiScan), TrafficClass::kMalicious);
+  EXPECT_EQ(traffic_class_of(TrafficOrigin::kMiraiC2), TrafficClass::kMalicious);
+  EXPECT_EQ(traffic_class_of(TrafficOrigin::kMiraiSynFlood), TrafficClass::kMalicious);
+  EXPECT_EQ(traffic_class_of(TrafficOrigin::kMiraiAckFlood), TrafficClass::kMalicious);
+  EXPECT_EQ(traffic_class_of(TrafficOrigin::kMiraiUdpFlood), TrafficClass::kMalicious);
+}
+
+TEST(PacketTest, SummaryMentionsFlagsAndEndpoints) {
+  Packet p;
+  p.src = Ipv4Address{10, 0, 0, 1};
+  p.dst = Ipv4Address{10, 0, 1, 1};
+  p.src_port = 1234;
+  p.dst_port = 80;
+  p.proto = IpProto::kTcp;
+  p.tcp_flags = TcpFlags::kSyn;
+  const std::string s = p.summary();
+  EXPECT_NE(s.find("10.0.0.1:1234"), std::string::npos);
+  EXPECT_NE(s.find("10.0.1.1:80"), std::string::npos);
+  EXPECT_NE(s.find("[S]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddoshield::net

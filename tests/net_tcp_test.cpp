@@ -1,0 +1,384 @@
+// Tests for the TCP state machine: handshake, data transfer, loss recovery,
+// teardown, RSTs, and the flood behaviours the testbed relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/tcp.hpp"
+
+namespace ddoshield::net {
+namespace {
+
+using util::SimTime;
+
+struct TcpFixture : ::testing::Test {
+  Network net;
+  Node* client = nullptr;
+  Node* server = nullptr;
+  Link* link = nullptr;
+
+  void SetUp() override {
+    client = &net.add_node("client", Ipv4Address{10, 0, 0, 1});
+    server = &net.add_node("server", Ipv4Address{10, 0, 0, 2});
+    link = &net.add_link(*client, *server,
+                         LinkConfig{.rate_bps = 80e6,
+                                    .delay = SimTime::millis(1),
+                                    .queue_bytes = 512 * 1024});
+    client->set_default_route(0);
+    server->set_default_route(0);
+  }
+
+  Endpoint server_ep(std::uint16_t port) { return Endpoint{server->address(), port}; }
+};
+
+TEST_F(TcpFixture, ThreeWayHandshakeEstablishes) {
+  auto listener = server->tcp().listen(80);
+  std::shared_ptr<TcpConnection> accepted;
+  listener->set_on_accept([&](std::shared_ptr<TcpConnection> c) { accepted = std::move(c); });
+
+  bool connected = false;
+  auto conn = client->tcp().connect(server_ep(80), TrafficOrigin::kHttp);
+  conn->set_on_connected([&] { connected = true; });
+
+  net.simulator().run_until(SimTime::seconds(1));
+  EXPECT_TRUE(connected);
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(conn->state(), TcpState::kEstablished);
+  EXPECT_EQ(accepted->state(), TcpState::kEstablished);
+  EXPECT_EQ(listener->accepted(), 1u);
+  EXPECT_EQ(listener->half_open(), 0u);
+}
+
+TEST_F(TcpFixture, HandshakePacketsCarryConnectionOrigin) {
+  auto listener = server->tcp().listen(80, 128, TrafficOrigin::kHttp);
+  listener->set_on_accept([](std::shared_ptr<TcpConnection>) {});
+
+  std::vector<TrafficOrigin> seen;
+  server->add_tap([&](const Packet& p, TapDirection d) {
+    if (d == TapDirection::kReceived || d == TapDirection::kSent) seen.push_back(p.origin);
+  });
+
+  auto conn = client->tcp().connect(server_ep(80), TrafficOrigin::kHttp);
+  net.simulator().run_until(SimTime::seconds(1));
+  ASSERT_GE(seen.size(), 3u);
+  for (auto o : seen) EXPECT_EQ(o, TrafficOrigin::kHttp);
+}
+
+TEST_F(TcpFixture, DataDeliveredInOrderWithAppData) {
+  auto listener = server->tcp().listen(80);
+  std::string received_msg;
+  std::uint64_t received_bytes = 0;
+  listener->set_on_accept([&](std::shared_ptr<TcpConnection> c) {
+    auto conn = c;
+    conn->set_on_data([&received_msg, &received_bytes](std::uint32_t n, const std::string& m) {
+      received_bytes += n;
+      if (!m.empty()) received_msg = m;
+    });
+  });
+
+  auto conn = client->tcp().connect(server_ep(80), TrafficOrigin::kHttp);
+  conn->set_on_connected([&] { conn->send(5000, "GET /index.html"); });
+
+  net.simulator().run_until(SimTime::seconds(2));
+  EXPECT_EQ(received_bytes, 5000u);
+  EXPECT_EQ(received_msg, "GET /index.html");
+  EXPECT_EQ(conn->bytes_sent(), 5000u);
+}
+
+TEST_F(TcpFixture, LargeTransferCompletesAndIsCountedBothSides) {
+  auto listener = server->tcp().listen(80);
+  std::shared_ptr<TcpConnection> accepted;
+  std::uint64_t got = 0;
+  listener->set_on_accept([&](std::shared_ptr<TcpConnection> c) {
+    accepted = c;
+    accepted->set_on_data([&](std::uint32_t n, const std::string&) { got += n; });
+  });
+
+  constexpr std::uint32_t kSize = 1'000'000;
+  auto conn = client->tcp().connect(server_ep(80), TrafficOrigin::kFtp);
+  conn->set_on_connected([&] { conn->send(kSize); });
+
+  net.simulator().run_until(SimTime::seconds(10));
+  EXPECT_EQ(got, kSize);
+  EXPECT_EQ(accepted->bytes_received(), kSize);
+}
+
+TEST_F(TcpFixture, BidirectionalEcho) {
+  auto listener = server->tcp().listen(7);
+  listener->set_on_accept([](std::shared_ptr<TcpConnection> c) {
+    auto conn = c;
+    conn->set_on_data([conn](std::uint32_t n, const std::string& m) {
+      conn->send(n, "echo:" + m);
+    });
+  });
+
+  std::string reply;
+  auto conn = client->tcp().connect(server_ep(7), TrafficOrigin::kHttp);
+  conn->set_on_data([&](std::uint32_t, const std::string& m) { reply = m; });
+  conn->set_on_connected([&] { conn->send(100, "ping"); });
+
+  net.simulator().run_until(SimTime::seconds(2));
+  EXPECT_EQ(reply, "echo:ping");
+}
+
+TEST_F(TcpFixture, GracefulCloseBothSidesReachClosed) {
+  auto listener = server->tcp().listen(80);
+  std::shared_ptr<TcpConnection> accepted;
+  TcpCloseReason server_reason{};
+  bool server_closed = false;
+  listener->set_on_accept([&](std::shared_ptr<TcpConnection> c) {
+    accepted = c;
+    accepted->set_on_peer_fin([&, c] { c->close(); });
+    accepted->set_on_closed([&](TcpCloseReason r) {
+      server_closed = true;
+      server_reason = r;
+    });
+  });
+
+  bool client_closed = false;
+  TcpCloseReason client_reason{};
+  auto conn = client->tcp().connect(server_ep(80), TrafficOrigin::kHttp);
+  conn->set_on_connected([&] { conn->close(); });
+  conn->set_on_closed([&](TcpCloseReason r) {
+    client_closed = true;
+    client_reason = r;
+  });
+
+  net.simulator().run_until(SimTime::seconds(5));
+  EXPECT_TRUE(client_closed);
+  EXPECT_TRUE(server_closed);
+  EXPECT_EQ(client_reason, TcpCloseReason::kGracefulClose);
+  EXPECT_EQ(server_reason, TcpCloseReason::kGracefulClose);
+  EXPECT_EQ(server->tcp().active_connections(), 0u);
+  EXPECT_EQ(client->tcp().active_connections(), 0u);
+}
+
+TEST_F(TcpFixture, DataBeforeCloseIsDeliveredThenFin) {
+  auto listener = server->tcp().listen(80);
+  std::uint64_t got = 0;
+  bool peer_fin = false;
+  listener->set_on_accept([&](std::shared_ptr<TcpConnection> c) {
+    auto conn = c;
+    conn->set_on_data([&](std::uint32_t n, const std::string&) { got += n; });
+    conn->set_on_peer_fin([&, conn] {
+      peer_fin = true;
+      conn->close();
+    });
+  });
+
+  auto conn = client->tcp().connect(server_ep(80), TrafficOrigin::kHttp);
+  conn->set_on_connected([&] {
+    conn->send(40000, "payload");
+    conn->close();  // FIN must trail all queued data
+  });
+
+  net.simulator().run_until(SimTime::seconds(5));
+  EXPECT_EQ(got, 40000u);
+  EXPECT_TRUE(peer_fin);
+}
+
+TEST_F(TcpFixture, ConnectToClosedPortGetsReset) {
+  bool closed = false;
+  TcpCloseReason reason{};
+  auto conn = client->tcp().connect(server_ep(81), TrafficOrigin::kHttp);
+  conn->set_on_closed([&](TcpCloseReason r) {
+    closed = true;
+    reason = r;
+  });
+  net.simulator().run_until(SimTime::seconds(2));
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(reason, TcpCloseReason::kReset);
+  EXPECT_EQ(server->tcp().rst_sent(), 1u);
+}
+
+TEST_F(TcpFixture, SynRetransmitsWhenServerSilent) {
+  // No listener and suppress RSTs by dropping the link server->client.
+  auto listener_none = 0;
+  (void)listener_none;
+  // Use a black-hole: point client's default route at a dead link? Simpler:
+  // connect to an address with no node — but routing needs a route. Use the
+  // downed-link trick after the SYN leaves: here, drop ALL traffic.
+  link->set_up(false);
+  bool closed = false;
+  TcpCloseReason reason{};
+  auto conn = client->tcp().connect(server_ep(80), TrafficOrigin::kHttp);
+  conn->set_on_closed([&](TcpCloseReason r) {
+    closed = true;
+    reason = r;
+  });
+  net.simulator().run_until(SimTime::seconds(60));
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(reason, TcpCloseReason::kConnectTimeout);
+  EXPECT_GE(conn->retransmissions(), 4u);
+}
+
+TEST_F(TcpFixture, LossyTransferRecoversViaRetransmission) {
+  // Tight queue forces drops under the initial window burst.
+  Network lossy_net;
+  Node& c = lossy_net.add_node("c", Ipv4Address{10, 0, 0, 1});
+  Node& s = lossy_net.add_node("s", Ipv4Address{10, 0, 0, 2});
+  lossy_net.add_link(c, s,
+                     LinkConfig{.rate_bps = 4e6,
+                                .delay = SimTime::millis(5),
+                                .queue_bytes = 4000});
+  c.set_default_route(0);
+  s.set_default_route(0);
+
+  auto listener = s.tcp().listen(80);
+  std::uint64_t got = 0;
+  listener->set_on_accept([&](std::shared_ptr<TcpConnection> conn) {
+    conn->set_on_data([&](std::uint32_t n, const std::string&) { got += n; });
+  });
+
+  constexpr std::uint32_t kSize = 200'000;
+  auto conn = c.tcp().connect(Endpoint{s.address(), 80}, TrafficOrigin::kFtp);
+  conn->set_on_connected([&] { conn->send(kSize); });
+
+  lossy_net.simulator().run_until(SimTime::seconds(120));
+  EXPECT_EQ(got, kSize);
+  EXPECT_GT(conn->retransmissions(), 0u);
+}
+
+TEST_F(TcpFixture, ListenerBacklogExhaustionDropsNewSyns) {
+  auto listener = server->tcp().listen(80, /*backlog=*/4);
+  listener->set_on_accept([](std::shared_ptr<TcpConnection>) {});
+
+  // Raw SYNs from spoofed sources that will never complete the handshake.
+  for (int i = 0; i < 20; ++i) {
+    Packet syn;
+    syn.src = Ipv4Address{172, 16, 0, static_cast<std::uint8_t>(i + 1)};
+    syn.dst = server->address();
+    syn.src_port = static_cast<std::uint16_t>(10000 + i);
+    syn.dst_port = 80;
+    syn.proto = IpProto::kTcp;
+    syn.tcp_flags = TcpFlags::kSyn;
+    syn.seq = 1000 + static_cast<std::uint32_t>(i);
+    syn.origin = TrafficOrigin::kMiraiSynFlood;
+    client->send(std::move(syn));
+  }
+  net.simulator().run_until(SimTime::millis(100));
+  EXPECT_EQ(listener->half_open(), 4u);
+  EXPECT_EQ(listener->backlog_drops(), 16u);
+
+  // Embryos expire after SYN-ACK retries; slots free up again.
+  net.simulator().run_until(SimTime::seconds(30));
+  EXPECT_EQ(listener->half_open(), 0u);
+  EXPECT_EQ(listener->accepted(), 0u);
+}
+
+TEST_F(TcpFixture, StrayAckDrawsRst) {
+  Packet ack;
+  ack.src = Ipv4Address{172, 16, 0, 9};
+  ack.dst = server->address();
+  ack.src_port = 3333;
+  ack.dst_port = 80;
+  ack.proto = IpProto::kTcp;
+  ack.tcp_flags = TcpFlags::kAck;
+  ack.seq = 77;
+  ack.ack = 88;
+  ack.origin = TrafficOrigin::kMiraiAckFlood;
+  client->send(std::move(ack));
+  net.simulator().run_until(SimTime::millis(100));
+  EXPECT_EQ(server->tcp().rst_sent(), 1u);
+}
+
+TEST_F(TcpFixture, RstIsNeverAnsweredWithRst) {
+  Packet rst;
+  rst.src = Ipv4Address{172, 16, 0, 9};
+  rst.dst = server->address();
+  rst.src_port = 3333;
+  rst.dst_port = 80;
+  rst.proto = IpProto::kTcp;
+  rst.tcp_flags = TcpFlags::kRst;
+  client->send(std::move(rst));
+  net.simulator().run_until(SimTime::millis(100));
+  EXPECT_EQ(server->tcp().rst_sent(), 0u);
+}
+
+TEST_F(TcpFixture, RstTearsDownEstablishedConnection) {
+  auto listener = server->tcp().listen(80);
+  std::shared_ptr<TcpConnection> accepted;
+  listener->set_on_accept([&](std::shared_ptr<TcpConnection> c) { accepted = c; });
+
+  auto conn = client->tcp().connect(server_ep(80), TrafficOrigin::kHttp);
+  net.simulator().run_until(SimTime::seconds(1));
+  ASSERT_NE(accepted, nullptr);
+
+  bool server_closed = false;
+  TcpCloseReason reason{};
+  accepted->set_on_closed([&](TcpCloseReason r) {
+    server_closed = true;
+    reason = r;
+  });
+  conn->abort();
+  net.simulator().run_until(SimTime::seconds(2));
+  EXPECT_TRUE(server_closed);
+  EXPECT_EQ(reason, TcpCloseReason::kReset);
+  EXPECT_EQ(conn->state(), TcpState::kClosed);
+}
+
+TEST_F(TcpFixture, SendOnUnconnectedSocketThrows) {
+  auto conn = client->tcp().connect(server_ep(80), TrafficOrigin::kHttp);
+  EXPECT_THROW(conn->send(100), std::logic_error);  // still SYN_SENT
+}
+
+TEST_F(TcpFixture, DoubleListenOnSamePortThrows) {
+  auto l1 = server->tcp().listen(80);
+  EXPECT_THROW(server->tcp().listen(80), std::invalid_argument);
+}
+
+TEST_F(TcpFixture, ClosedListenerIgnoresNewSyns) {
+  auto listener = server->tcp().listen(80);
+  listener->close();
+  bool closed = false;
+  TcpCloseReason reason{};
+  auto conn = client->tcp().connect(server_ep(80), TrafficOrigin::kHttp);
+  conn->set_on_closed([&](TcpCloseReason r) {
+    closed = true;
+    reason = r;
+  });
+  net.simulator().run_until(SimTime::seconds(60));
+  // No listener response: SYN retries exhaust (closed listener drops, the
+  // port also no longer RSTs through the dead weak_ptr path).
+  EXPECT_TRUE(closed);
+}
+
+TEST_F(TcpFixture, ManyParallelConnectionsAllComplete) {
+  auto listener = server->tcp().listen(80, 256);
+  std::uint64_t total = 0;
+  listener->set_on_accept([&](std::shared_ptr<TcpConnection> c) {
+    auto conn = c;
+    conn->set_on_data([&total](std::uint32_t n, const std::string&) { total += n; });
+  });
+
+  constexpr int kConns = 40;
+  std::vector<std::shared_ptr<TcpConnection>> conns;
+  for (int i = 0; i < kConns; ++i) {
+    auto conn = client->tcp().connect(server_ep(80), TrafficOrigin::kHttp);
+    conn->set_on_connected([conn] { conn->send(10'000); });
+    conns.push_back(std::move(conn));
+  }
+  net.simulator().run_until(SimTime::seconds(30));
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kConns) * 10'000u);
+}
+
+TEST_F(TcpFixture, EstablishedAtTimestampIsSet) {
+  auto listener = server->tcp().listen(80);
+  listener->set_on_accept([](std::shared_ptr<TcpConnection>) {});
+  auto conn = client->tcp().connect(server_ep(80), TrafficOrigin::kHttp);
+  net.simulator().run_until(SimTime::seconds(1));
+  EXPECT_GT(conn->established_at().ns(), 0);
+}
+
+TEST(TcpStateNames, AllDistinct) {
+  EXPECT_EQ(to_string(TcpState::kListen), "LISTEN");
+  EXPECT_EQ(to_string(TcpState::kEstablished), "ESTABLISHED");
+  EXPECT_EQ(to_string(TcpCloseReason::kGracefulClose), "graceful");
+  EXPECT_EQ(to_string(TcpCloseReason::kReset), "reset");
+  EXPECT_EQ(to_string(TcpCloseReason::kConnectTimeout), "connect-timeout");
+}
+
+}  // namespace
+}  // namespace ddoshield::net

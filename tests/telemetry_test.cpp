@@ -1,0 +1,125 @@
+// Tests for the MQTT-style telemetry extension (§V benign diversity).
+#include <gtest/gtest.h>
+
+#include "apps/telemetry.hpp"
+#include "container/runtime.hpp"
+#include "core/scenario.hpp"
+#include "core/testbed.hpp"
+#include "net/network.hpp"
+
+namespace ddoshield::apps {
+namespace {
+
+using util::Rng;
+using util::SimTime;
+
+struct TelemetryFixture : ::testing::Test {
+  net::Network net;
+  net::Node* broker_node = nullptr;
+  net::Node* sensor_node = nullptr;
+  container::ContainerRuntime runtime;
+  container::Container* broker_box = nullptr;
+  container::Container* sensor_box = nullptr;
+
+  void SetUp() override {
+    broker_node = &net.add_node("broker", net::Ipv4Address{10, 0, 0, 1});
+    sensor_node = &net.add_node("sensor", net::Ipv4Address{10, 0, 0, 2});
+    net.add_link(*broker_node, *sensor_node, net::LinkConfig{});
+    broker_node->set_default_route(0);
+    sensor_node->set_default_route(0);
+    runtime.register_image({"t/box", "1", nullptr});
+    broker_box = &runtime.create("broker", "t/box:1");
+    broker_box->attach_node(*broker_node);
+    broker_box->start();
+    sensor_box = &runtime.create("sensor", "t/box:1");
+    sensor_box->attach_node(*sensor_node);
+    sensor_box->start();
+  }
+};
+
+TEST_F(TelemetryFixture, SensorPublishesAndGetsAcks) {
+  TelemetryBroker broker{*broker_box, Rng{1}};
+  broker.start();
+  TelemetrySensorConfig cfg;
+  cfg.broker = {broker_node->address(), 1883};
+  cfg.publish_rate = 2.0;
+  TelemetrySensor sensor{*sensor_box, Rng{2}, cfg};
+  sensor.start();
+
+  net.simulator().run_until(SimTime::seconds(20));
+  EXPECT_TRUE(sensor.connected());
+  EXPECT_GT(sensor.publishes_sent(), 20u);
+  // The last publish/ack may still be in flight at the cut-off.
+  EXPECT_GE(sensor.publishes_sent(), broker.publishes_received());
+  EXPECT_LE(sensor.publishes_sent() - broker.publishes_received(), 1u);
+  EXPECT_GE(broker.publishes_received(), sensor.publishes_acked());
+  EXPECT_LE(broker.publishes_received() - sensor.publishes_acked(), 1u);
+  EXPECT_EQ(broker.sessions_accepted(), 1u);
+  EXPECT_EQ(sensor.reconnects(), 0u);
+}
+
+TEST_F(TelemetryFixture, SensorKeepsAliveWhenIdle) {
+  TelemetryBroker broker{*broker_box, Rng{1}};
+  broker.start();
+  TelemetrySensorConfig cfg;
+  cfg.broker = {broker_node->address(), 1883};
+  cfg.publish_rate = 0.001;  // effectively never publishes
+  cfg.keepalive = SimTime::seconds(5);
+  TelemetrySensor sensor{*sensor_box, Rng{2}, cfg};
+  sensor.start();
+
+  net.simulator().run_until(SimTime::seconds(60));
+  // The connection survives pure idleness through PINGREQ/PINGRESP.
+  EXPECT_TRUE(sensor.connected());
+  EXPECT_EQ(sensor.reconnects(), 0u);
+}
+
+TEST_F(TelemetryFixture, SensorReconnectsAfterOutage) {
+  TelemetryBroker broker{*broker_box, Rng{1}};
+  broker.start();
+  TelemetrySensorConfig cfg;
+  cfg.broker = {broker_node->address(), 1883};
+  cfg.publish_rate = 2.0;
+  TelemetrySensor sensor{*sensor_box, Rng{2}, cfg};
+  sensor.start();
+
+  net.simulator().run_until(SimTime::seconds(5));
+  ASSERT_TRUE(sensor.connected());
+  net::Link& link = sensor_node->link_at(0);
+  link.set_up(false);
+  net.simulator().run_until(SimTime::seconds(45));  // retransmissions exhaust
+  EXPECT_FALSE(sensor.connected());
+  link.set_up(true);
+  net.simulator().run_until(SimTime::seconds(80));
+  EXPECT_TRUE(sensor.connected());
+  EXPECT_GT(sensor.reconnects(), 0u);
+}
+
+TEST(TelemetryScenarioTest, TestbedWiresTelemetryWhenEnabled) {
+  core::Scenario s;
+  s.seed = 5;
+  s.device_count = 3;
+  s.duration = SimTime::seconds(15);
+  s.benign.telemetry_publish_rate = 1.0;
+  core::Testbed tb{s};
+  tb.deploy();
+  tb.record_dataset();
+  tb.run();
+  ASSERT_NE(tb.telemetry_broker(), nullptr);
+  EXPECT_GT(tb.telemetry_broker()->publishes_received(), 20u);
+  EXPECT_EQ(tb.telemetry_broker()->sessions_accepted(), 3u);
+}
+
+TEST(TelemetryScenarioTest, DisabledByDefaultInCanonicalScenarios) {
+  EXPECT_EQ(core::training_scenario().benign.telemetry_publish_rate, 0.0);
+  EXPECT_EQ(core::detection_scenario().benign.telemetry_publish_rate, 0.0);
+  core::Scenario s;
+  s.device_count = 2;
+  s.duration = SimTime::seconds(5);
+  core::Testbed tb{s};
+  tb.deploy();
+  EXPECT_EQ(tb.telemetry_broker(), nullptr);
+}
+
+}  // namespace
+}  // namespace ddoshield::apps
