@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_dataset.dir/bench_e1_dataset.cpp.o"
+  "CMakeFiles/bench_e1_dataset.dir/bench_e1_dataset.cpp.o.d"
+  "bench_e1_dataset"
+  "bench_e1_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

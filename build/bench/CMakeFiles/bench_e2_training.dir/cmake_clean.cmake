@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_training.dir/bench_e2_training.cpp.o"
+  "CMakeFiles/bench_e2_training.dir/bench_e2_training.cpp.o.d"
+  "bench_e2_training"
+  "bench_e2_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_timeline.dir/bench_e5_timeline.cpp.o"
+  "CMakeFiles/bench_e5_timeline.dir/bench_e5_timeline.cpp.o.d"
+  "bench_e5_timeline"
+  "bench_e5_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

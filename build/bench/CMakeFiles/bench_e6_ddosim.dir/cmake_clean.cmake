@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_ddosim.dir/bench_e6_ddosim.cpp.o"
+  "CMakeFiles/bench_e6_ddosim.dir/bench_e6_ddosim.cpp.o.d"
+  "bench_e6_ddosim"
+  "bench_e6_ddosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_ddosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

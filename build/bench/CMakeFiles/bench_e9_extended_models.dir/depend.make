@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e9_extended_models.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_nids.dir/federated_nids.cpp.o"
+  "CMakeFiles/federated_nids.dir/federated_nids.cpp.o.d"
+  "federated_nids"
+  "federated_nids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_nids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_comparison.dir/ids_comparison.cpp.o"
+  "CMakeFiles/ids_comparison.dir/ids_comparison.cpp.o.d"
+  "ids_comparison"
+  "ids_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

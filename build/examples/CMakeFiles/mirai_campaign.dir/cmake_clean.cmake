@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirai_campaign.dir/mirai_campaign.cpp.o"
+  "CMakeFiles/mirai_campaign.dir/mirai_campaign.cpp.o.d"
+  "mirai_campaign"
+  "mirai_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirai_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

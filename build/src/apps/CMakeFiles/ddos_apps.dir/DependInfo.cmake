@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cpp" "src/apps/CMakeFiles/ddos_apps.dir/app.cpp.o" "gcc" "src/apps/CMakeFiles/ddos_apps.dir/app.cpp.o.d"
+  "/root/repo/src/apps/ftp.cpp" "src/apps/CMakeFiles/ddos_apps.dir/ftp.cpp.o" "gcc" "src/apps/CMakeFiles/ddos_apps.dir/ftp.cpp.o.d"
+  "/root/repo/src/apps/http.cpp" "src/apps/CMakeFiles/ddos_apps.dir/http.cpp.o" "gcc" "src/apps/CMakeFiles/ddos_apps.dir/http.cpp.o.d"
+  "/root/repo/src/apps/telemetry.cpp" "src/apps/CMakeFiles/ddos_apps.dir/telemetry.cpp.o" "gcc" "src/apps/CMakeFiles/ddos_apps.dir/telemetry.cpp.o.d"
+  "/root/repo/src/apps/video.cpp" "src/apps/CMakeFiles/ddos_apps.dir/video.cpp.o" "gcc" "src/apps/CMakeFiles/ddos_apps.dir/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/container/CMakeFiles/ddos_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ddos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ddos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_apps.dir/app.cpp.o"
+  "CMakeFiles/ddos_apps.dir/app.cpp.o.d"
+  "CMakeFiles/ddos_apps.dir/ftp.cpp.o"
+  "CMakeFiles/ddos_apps.dir/ftp.cpp.o.d"
+  "CMakeFiles/ddos_apps.dir/http.cpp.o"
+  "CMakeFiles/ddos_apps.dir/http.cpp.o.d"
+  "CMakeFiles/ddos_apps.dir/telemetry.cpp.o"
+  "CMakeFiles/ddos_apps.dir/telemetry.cpp.o.d"
+  "CMakeFiles/ddos_apps.dir/video.cpp.o"
+  "CMakeFiles/ddos_apps.dir/video.cpp.o.d"
+  "libddos_apps.a"
+  "libddos_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

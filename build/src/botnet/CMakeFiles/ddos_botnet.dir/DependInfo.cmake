@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/botnet/bot.cpp" "src/botnet/CMakeFiles/ddos_botnet.dir/bot.cpp.o" "gcc" "src/botnet/CMakeFiles/ddos_botnet.dir/bot.cpp.o.d"
+  "/root/repo/src/botnet/c2.cpp" "src/botnet/CMakeFiles/ddos_botnet.dir/c2.cpp.o" "gcc" "src/botnet/CMakeFiles/ddos_botnet.dir/c2.cpp.o.d"
+  "/root/repo/src/botnet/credentials.cpp" "src/botnet/CMakeFiles/ddos_botnet.dir/credentials.cpp.o" "gcc" "src/botnet/CMakeFiles/ddos_botnet.dir/credentials.cpp.o.d"
+  "/root/repo/src/botnet/floods.cpp" "src/botnet/CMakeFiles/ddos_botnet.dir/floods.cpp.o" "gcc" "src/botnet/CMakeFiles/ddos_botnet.dir/floods.cpp.o.d"
+  "/root/repo/src/botnet/scanner.cpp" "src/botnet/CMakeFiles/ddos_botnet.dir/scanner.cpp.o" "gcc" "src/botnet/CMakeFiles/ddos_botnet.dir/scanner.cpp.o.d"
+  "/root/repo/src/botnet/telnet_service.cpp" "src/botnet/CMakeFiles/ddos_botnet.dir/telnet_service.cpp.o" "gcc" "src/botnet/CMakeFiles/ddos_botnet.dir/telnet_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ddos_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/ddos_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ddos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ddos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

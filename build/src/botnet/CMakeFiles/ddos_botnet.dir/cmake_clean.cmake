@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_botnet.dir/bot.cpp.o"
+  "CMakeFiles/ddos_botnet.dir/bot.cpp.o.d"
+  "CMakeFiles/ddos_botnet.dir/c2.cpp.o"
+  "CMakeFiles/ddos_botnet.dir/c2.cpp.o.d"
+  "CMakeFiles/ddos_botnet.dir/credentials.cpp.o"
+  "CMakeFiles/ddos_botnet.dir/credentials.cpp.o.d"
+  "CMakeFiles/ddos_botnet.dir/floods.cpp.o"
+  "CMakeFiles/ddos_botnet.dir/floods.cpp.o.d"
+  "CMakeFiles/ddos_botnet.dir/scanner.cpp.o"
+  "CMakeFiles/ddos_botnet.dir/scanner.cpp.o.d"
+  "CMakeFiles/ddos_botnet.dir/telnet_service.cpp.o"
+  "CMakeFiles/ddos_botnet.dir/telnet_service.cpp.o.d"
+  "libddos_botnet.a"
+  "libddos_botnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_botnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capture/dataset.cpp" "src/capture/CMakeFiles/ddos_capture.dir/dataset.cpp.o" "gcc" "src/capture/CMakeFiles/ddos_capture.dir/dataset.cpp.o.d"
+  "/root/repo/src/capture/flow.cpp" "src/capture/CMakeFiles/ddos_capture.dir/flow.cpp.o" "gcc" "src/capture/CMakeFiles/ddos_capture.dir/flow.cpp.o.d"
+  "/root/repo/src/capture/packet_record.cpp" "src/capture/CMakeFiles/ddos_capture.dir/packet_record.cpp.o" "gcc" "src/capture/CMakeFiles/ddos_capture.dir/packet_record.cpp.o.d"
+  "/root/repo/src/capture/tap.cpp" "src/capture/CMakeFiles/ddos_capture.dir/tap.cpp.o" "gcc" "src/capture/CMakeFiles/ddos_capture.dir/tap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ddos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ddos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

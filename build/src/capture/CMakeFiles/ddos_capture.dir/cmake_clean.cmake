@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_capture.dir/dataset.cpp.o"
+  "CMakeFiles/ddos_capture.dir/dataset.cpp.o.d"
+  "CMakeFiles/ddos_capture.dir/flow.cpp.o"
+  "CMakeFiles/ddos_capture.dir/flow.cpp.o.d"
+  "CMakeFiles/ddos_capture.dir/packet_record.cpp.o"
+  "CMakeFiles/ddos_capture.dir/packet_record.cpp.o.d"
+  "CMakeFiles/ddos_capture.dir/tap.cpp.o"
+  "CMakeFiles/ddos_capture.dir/tap.cpp.o.d"
+  "libddos_capture.a"
+  "libddos_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/container/container.cpp" "src/container/CMakeFiles/ddos_container.dir/container.cpp.o" "gcc" "src/container/CMakeFiles/ddos_container.dir/container.cpp.o.d"
+  "/root/repo/src/container/resource_account.cpp" "src/container/CMakeFiles/ddos_container.dir/resource_account.cpp.o" "gcc" "src/container/CMakeFiles/ddos_container.dir/resource_account.cpp.o.d"
+  "/root/repo/src/container/runtime.cpp" "src/container/CMakeFiles/ddos_container.dir/runtime.cpp.o" "gcc" "src/container/CMakeFiles/ddos_container.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ddos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ddos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_container.dir/container.cpp.o"
+  "CMakeFiles/ddos_container.dir/container.cpp.o.d"
+  "CMakeFiles/ddos_container.dir/resource_account.cpp.o"
+  "CMakeFiles/ddos_container.dir/resource_account.cpp.o.d"
+  "CMakeFiles/ddos_container.dir/runtime.cpp.o"
+  "CMakeFiles/ddos_container.dir/runtime.cpp.o.d"
+  "libddos_container.a"
+  "libddos_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

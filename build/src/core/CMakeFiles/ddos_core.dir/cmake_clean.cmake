@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_core.dir/pipeline.cpp.o"
+  "CMakeFiles/ddos_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ddos_core.dir/scenario.cpp.o"
+  "CMakeFiles/ddos_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/ddos_core.dir/testbed.cpp.o"
+  "CMakeFiles/ddos_core.dir/testbed.cpp.o.d"
+  "libddos_core.a"
+  "libddos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

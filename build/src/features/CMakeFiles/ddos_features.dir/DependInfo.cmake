@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/extractor.cpp" "src/features/CMakeFiles/ddos_features.dir/extractor.cpp.o" "gcc" "src/features/CMakeFiles/ddos_features.dir/extractor.cpp.o.d"
+  "/root/repo/src/features/schema.cpp" "src/features/CMakeFiles/ddos_features.dir/schema.cpp.o" "gcc" "src/features/CMakeFiles/ddos_features.dir/schema.cpp.o.d"
+  "/root/repo/src/features/window_stats.cpp" "src/features/CMakeFiles/ddos_features.dir/window_stats.cpp.o" "gcc" "src/features/CMakeFiles/ddos_features.dir/window_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/capture/CMakeFiles/ddos_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ddos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ddos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

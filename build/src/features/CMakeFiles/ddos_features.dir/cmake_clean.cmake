@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_features.dir/extractor.cpp.o"
+  "CMakeFiles/ddos_features.dir/extractor.cpp.o.d"
+  "CMakeFiles/ddos_features.dir/schema.cpp.o"
+  "CMakeFiles/ddos_features.dir/schema.cpp.o.d"
+  "CMakeFiles/ddos_features.dir/window_stats.cpp.o"
+  "CMakeFiles/ddos_features.dir/window_stats.cpp.o.d"
+  "libddos_features.a"
+  "libddos_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_ids.dir/realtime_ids.cpp.o"
+  "CMakeFiles/ddos_ids.dir/realtime_ids.cpp.o.d"
+  "libddos_ids.a"
+  "libddos_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

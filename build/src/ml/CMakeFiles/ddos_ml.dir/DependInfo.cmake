@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cpp" "src/ml/CMakeFiles/ddos_ml.dir/classifier.cpp.o" "gcc" "src/ml/CMakeFiles/ddos_ml.dir/classifier.cpp.o.d"
+  "/root/repo/src/ml/cnn.cpp" "src/ml/CMakeFiles/ddos_ml.dir/cnn.cpp.o" "gcc" "src/ml/CMakeFiles/ddos_ml.dir/cnn.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/ddos_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/ddos_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/feature_selection.cpp" "src/ml/CMakeFiles/ddos_ml.dir/feature_selection.cpp.o" "gcc" "src/ml/CMakeFiles/ddos_ml.dir/feature_selection.cpp.o.d"
+  "/root/repo/src/ml/federated.cpp" "src/ml/CMakeFiles/ddos_ml.dir/federated.cpp.o" "gcc" "src/ml/CMakeFiles/ddos_ml.dir/federated.cpp.o.d"
+  "/root/repo/src/ml/isolation_forest.cpp" "src/ml/CMakeFiles/ddos_ml.dir/isolation_forest.cpp.o" "gcc" "src/ml/CMakeFiles/ddos_ml.dir/isolation_forest.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/ddos_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/ddos_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/ddos_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/ddos_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/model_store.cpp" "src/ml/CMakeFiles/ddos_ml.dir/model_store.cpp.o" "gcc" "src/ml/CMakeFiles/ddos_ml.dir/model_store.cpp.o.d"
+  "/root/repo/src/ml/preprocess.cpp" "src/ml/CMakeFiles/ddos_ml.dir/preprocess.cpp.o" "gcc" "src/ml/CMakeFiles/ddos_ml.dir/preprocess.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/ddos_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/ddos_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/ddos_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/ddos_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ddos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_ml.dir/classifier.cpp.o"
+  "CMakeFiles/ddos_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/ddos_ml.dir/cnn.cpp.o"
+  "CMakeFiles/ddos_ml.dir/cnn.cpp.o.d"
+  "CMakeFiles/ddos_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/ddos_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/ddos_ml.dir/feature_selection.cpp.o"
+  "CMakeFiles/ddos_ml.dir/feature_selection.cpp.o.d"
+  "CMakeFiles/ddos_ml.dir/federated.cpp.o"
+  "CMakeFiles/ddos_ml.dir/federated.cpp.o.d"
+  "CMakeFiles/ddos_ml.dir/isolation_forest.cpp.o"
+  "CMakeFiles/ddos_ml.dir/isolation_forest.cpp.o.d"
+  "CMakeFiles/ddos_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/ddos_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/ddos_ml.dir/metrics.cpp.o"
+  "CMakeFiles/ddos_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/ddos_ml.dir/model_store.cpp.o"
+  "CMakeFiles/ddos_ml.dir/model_store.cpp.o.d"
+  "CMakeFiles/ddos_ml.dir/preprocess.cpp.o"
+  "CMakeFiles/ddos_ml.dir/preprocess.cpp.o.d"
+  "CMakeFiles/ddos_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/ddos_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/ddos_ml.dir/svm.cpp.o"
+  "CMakeFiles/ddos_ml.dir/svm.cpp.o.d"
+  "libddos_ml.a"
+  "libddos_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_net.dir/address.cpp.o"
+  "CMakeFiles/ddos_net.dir/address.cpp.o.d"
+  "CMakeFiles/ddos_net.dir/link.cpp.o"
+  "CMakeFiles/ddos_net.dir/link.cpp.o.d"
+  "CMakeFiles/ddos_net.dir/network.cpp.o"
+  "CMakeFiles/ddos_net.dir/network.cpp.o.d"
+  "CMakeFiles/ddos_net.dir/node.cpp.o"
+  "CMakeFiles/ddos_net.dir/node.cpp.o.d"
+  "CMakeFiles/ddos_net.dir/packet.cpp.o"
+  "CMakeFiles/ddos_net.dir/packet.cpp.o.d"
+  "CMakeFiles/ddos_net.dir/simulator.cpp.o"
+  "CMakeFiles/ddos_net.dir/simulator.cpp.o.d"
+  "CMakeFiles/ddos_net.dir/tcp.cpp.o"
+  "CMakeFiles/ddos_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/ddos_net.dir/udp.cpp.o"
+  "CMakeFiles/ddos_net.dir/udp.cpp.o.d"
+  "libddos_net.a"
+  "libddos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_util.dir/logging.cpp.o"
+  "CMakeFiles/ddos_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ddos_util.dir/rng.cpp.o"
+  "CMakeFiles/ddos_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ddos_util.dir/sim_time.cpp.o"
+  "CMakeFiles/ddos_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/ddos_util.dir/stats.cpp.o"
+  "CMakeFiles/ddos_util.dir/stats.cpp.o.d"
+  "libddos_util.a"
+  "libddos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

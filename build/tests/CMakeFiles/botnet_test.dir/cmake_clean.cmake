@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botnet_test.dir/botnet_test.cpp.o"
+  "CMakeFiles/botnet_test.dir/botnet_test.cpp.o.d"
+  "botnet_test"
+  "botnet_test.pdb"
+  "botnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

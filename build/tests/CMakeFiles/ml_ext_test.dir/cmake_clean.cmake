@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_ext_test.dir/ml_ext_test.cpp.o"
+  "CMakeFiles/ml_ext_test.dir/ml_ext_test.cpp.o.d"
+  "ml_ext_test"
+  "ml_ext_test.pdb"
+  "ml_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
