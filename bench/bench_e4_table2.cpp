@@ -11,7 +11,13 @@
 // The contract is the shape: CPU roughly equal across models (dominated
 // by statistical-feature computation), CNN the largest memory, K-Means
 // the lightest model by orders of magnitude.
+//
+// Emits BENCH_E4.json: a ddoshield-metrics-v1 snapshot of the whole run's
+// counters and latency histograms plus per-model "bench.e4.*" gauges for
+// the table's measured values (schema documented in DESIGN.md).
 #include "bench/bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 
 using namespace ddoshield;
 
@@ -32,6 +38,7 @@ int main() {
   double cpu_measured[3];
   double mem_measured[3];
   double size_measured[3];
+  auto& registry = obs::MetricsRegistry::global();
   for (std::size_t i = 0; i < 3; ++i) {
     const char* name = bench::kModelNames[i];
     const core::DetectionResult result = core::run_detection(det, models.get(name));
@@ -41,6 +48,11 @@ int main() {
     std::printf("%-8s | %9.2f %9.2f | %11.2f %11.2f | %11.2f %11.2f\n", name,
                 paper[i].cpu, cpu_measured[i], paper[i].mem_kb, mem_measured[i],
                 paper[i].size_kb, size_measured[i]);
+    const std::string prefix = std::string{"bench.e4."} + name;
+    registry.gauge(prefix + ".cpu_percent").set(cpu_measured[i]);
+    registry.gauge(prefix + ".memory_kb").set(mem_measured[i]);
+    registry.gauge(prefix + ".model_size_kb").set(size_measured[i]);
+    registry.gauge(prefix + ".avg_window_accuracy").set(result.summary.average_accuracy);
   }
 
   const bool cpu_flat = cpu_measured[0] > 30 && cpu_measured[1] > 30 &&
@@ -56,5 +68,11 @@ int main() {
               cnn_mem_largest ? "PASS" : "CHECK");
   std::printf("  K-Means model is orders of magnitude smaller:      %s\n",
               kmeans_tiny ? "PASS" : "CHECK");
+
+  if (obs::write_json_snapshot_file(registry, "BENCH_E4.json")) {
+    std::printf("\nmetrics artifact written to BENCH_E4.json\n");
+  } else {
+    std::printf("\nWARNING: could not write BENCH_E4.json\n");
+  }
   return 0;
 }

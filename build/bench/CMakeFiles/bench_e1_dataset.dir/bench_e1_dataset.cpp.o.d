@@ -232,14 +232,17 @@ bench/CMakeFiles/bench_e1_dataset.dir/bench_e1_dataset.cpp.o: \
  /root/repo/src/ids/realtime_ids.hpp \
  /root/repo/src/features/window_stats.hpp \
  /root/repo/src/features/schema.hpp /root/repo/src/ids/resource_meter.hpp \
+ /root/repo/src/ml/classifier.hpp /root/repo/src/ml/design_matrix.hpp \
+ /root/repo/src/util/byte_buffer.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/ml/metrics.hpp /root/repo/src/net/network.hpp \
+ /root/repo/src/obs/sampler.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/metrics.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/ml/classifier.hpp \
- /root/repo/src/ml/design_matrix.hpp /root/repo/src/util/byte_buffer.hpp \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/ml/metrics.hpp /root/repo/src/net/network.hpp \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/trace.hpp \
  /root/repo/src/features/extractor.hpp /root/repo/src/util/logging.hpp \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h

@@ -247,10 +247,13 @@ examples/CMakeFiles/ids_comparison.dir/ids_comparison.cpp.o: \
  /root/repo/src/ids/realtime_ids.hpp \
  /root/repo/src/features/window_stats.hpp \
  /root/repo/src/features/schema.hpp /root/repo/src/ids/resource_meter.hpp \
- /usr/include/c++/12/chrono /root/repo/src/ml/classifier.hpp \
- /root/repo/src/ml/design_matrix.hpp /root/repo/src/util/byte_buffer.hpp \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/ml/classifier.hpp /root/repo/src/ml/design_matrix.hpp \
+ /root/repo/src/util/byte_buffer.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/ml/metrics.hpp /root/repo/src/net/network.hpp \
+ /root/repo/src/obs/sampler.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/obs/trace.hpp \
  /root/repo/src/features/extractor.hpp /root/repo/src/ml/model_store.hpp \
  /root/repo/src/util/logging.hpp /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h

@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/apps/CMakeFiles/ddos_apps.dir/DependInfo.cmake"
   "/root/repo/build/src/container/CMakeFiles/ddos_container.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/ddos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ddos_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/ddos_util.dir/DependInfo.cmake"
   )
 

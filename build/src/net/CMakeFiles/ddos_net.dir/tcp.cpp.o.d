@@ -220,10 +220,10 @@ src/net/CMakeFiles/ddos_net.dir/tcp.cpp.o: /root/repo/src/net/tcp.cpp \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/net/node.hpp /root/repo/src/net/link.hpp \
- /root/repo/src/util/logging.hpp /usr/include/c++/12/mutex \
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/logging.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_obs.dir/metrics.cpp.o"
+  "CMakeFiles/ddos_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/ddos_obs.dir/sampler.cpp.o"
+  "CMakeFiles/ddos_obs.dir/sampler.cpp.o.d"
+  "CMakeFiles/ddos_obs.dir/snapshot.cpp.o"
+  "CMakeFiles/ddos_obs.dir/snapshot.cpp.o.d"
+  "CMakeFiles/ddos_obs.dir/trace.cpp.o"
+  "CMakeFiles/ddos_obs.dir/trace.cpp.o.d"
+  "libddos_obs.a"
+  "libddos_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

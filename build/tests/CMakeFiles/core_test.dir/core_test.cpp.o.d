@@ -314,9 +314,11 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /root/repo/src/ids/realtime_ids.hpp \
  /root/repo/src/features/window_stats.hpp \
  /root/repo/src/features/schema.hpp /root/repo/src/ids/resource_meter.hpp \
+ /root/repo/src/ml/classifier.hpp /root/repo/src/ml/design_matrix.hpp \
+ /root/repo/src/util/byte_buffer.hpp /usr/include/c++/12/cstring \
+ /root/repo/src/ml/metrics.hpp /root/repo/src/net/network.hpp \
+ /root/repo/src/obs/sampler.hpp /root/repo/src/obs/metrics.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/ml/classifier.hpp \
- /root/repo/src/ml/design_matrix.hpp /root/repo/src/util/byte_buffer.hpp \
- /usr/include/c++/12/cstring /root/repo/src/ml/metrics.hpp \
- /root/repo/src/net/network.hpp /root/repo/src/features/extractor.hpp \
+ /usr/include/c++/12/ratio /root/repo/src/obs/trace.hpp \
+ /root/repo/src/features/extractor.hpp \
  /root/repo/src/ml/random_forest.hpp /root/repo/src/ml/decision_tree.hpp

@@ -306,8 +306,7 @@ tests/CMakeFiles/ids_test.dir/ids_test.cpp.o: \
  /root/repo/src/ids/realtime_ids.hpp /root/repo/src/apps/app.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/features/window_stats.hpp \
  /usr/include/c++/12/span /root/repo/src/features/schema.hpp \
- /root/repo/src/ids/resource_meter.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /root/repo/src/ml/classifier.hpp /root/repo/src/ml/design_matrix.hpp \
- /root/repo/src/util/byte_buffer.hpp /usr/include/c++/12/cstring \
- /root/repo/src/ml/metrics.hpp /root/repo/src/net/network.hpp
+ /root/repo/src/ids/resource_meter.hpp /root/repo/src/ml/classifier.hpp \
+ /root/repo/src/ml/design_matrix.hpp /root/repo/src/util/byte_buffer.hpp \
+ /usr/include/c++/12/cstring /root/repo/src/ml/metrics.hpp \
+ /root/repo/src/net/network.hpp

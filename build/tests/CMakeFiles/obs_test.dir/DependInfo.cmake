@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cpp" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ddos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ids/CMakeFiles/ddos_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ddos_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/ddos_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/ddos_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/botnet/CMakeFiles/ddos_botnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ddos_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/ddos_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ddos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ddos_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ddos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

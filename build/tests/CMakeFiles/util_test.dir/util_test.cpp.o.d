@@ -316,5 +316,8 @@ tests/CMakeFiles/util_test.dir/util_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/util/byte_buffer.hpp /usr/include/c++/12/cstring \
- /usr/include/c++/12/span /root/repo/src/util/rng.hpp \
- /root/repo/src/util/sim_time.hpp /root/repo/src/util/stats.hpp
+ /usr/include/c++/12/span /root/repo/src/util/logging.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/util/rng.hpp /root/repo/src/util/sim_time.hpp \
+ /root/repo/src/util/stats.hpp

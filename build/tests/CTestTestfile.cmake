@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
 include("/root/repo/build/tests/net_sim_test[1]_include.cmake")
 include("/root/repo/build/tests/net_tcp_test[1]_include.cmake")
 include("/root/repo/build/tests/container_test[1]_include.cmake")

@@ -7,16 +7,33 @@
 //      container and report per-model detection accuracy and resource use.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// Pass --trace[=path] to record a sim-time trace of the detection runs
+// (IDS windows + sampled gauges) and write it as Chrome trace_event JSON
+// (default quickstart_trace.json); open it at chrome://tracing.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/pipeline.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 using namespace ddoshield;
 
-int main() {
+int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IONBF, 0);  // progress visible when piped
   util::Logger::instance().set_level(util::LogLevel::kWarn);
+
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = "quickstart_trace.json";
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    }
+  }
+  if (!trace_path.empty()) obs::TraceRecorder::global().set_enabled(true);
 
   // --- 1. dataset generation ------------------------------------------------
   core::Scenario gen = core::training_scenario(/*seed=*/1);
@@ -46,6 +63,15 @@ int main() {
                 100.0 * result.summary.min_accuracy,
                 static_cast<unsigned long long>(result.summary.windows),
                 result.summary.cpu_percent, result.summary.memory_kb);
+  }
+  if (!trace_path.empty()) {
+    auto& trace = obs::TraceRecorder::global();
+    if (trace.write_chrome_trace_file(trace_path)) {
+      std::printf("\nTrace (%zu events) written to %s — open chrome://tracing and load it.\n",
+                  trace.size(), trace_path.c_str());
+    } else {
+      std::printf("\nWARNING: could not write trace file %s\n", trace_path.c_str());
+    }
   }
   std::printf("\nDone. See bench/ for the full paper-scale reproductions.\n");
   return 0;

@@ -1,6 +1,12 @@
 #include "capture/tap.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace ddoshield::capture {
+
+PacketTap::PacketTap(TapConfig config)
+    : config_{config},
+      m_packets_{&obs::MetricsRegistry::global().counter("capture.tap.packets")} {}
 
 void PacketTap::attach_to(net::Node& node) {
   node.add_tap([this, &node](const net::Packet& pkt, net::TapDirection dir) {
@@ -22,6 +28,7 @@ void PacketTap::on_packet(const net::Packet& pkt, net::TapDirection dir, net::No
       break;
   }
   ++packets_captured_;
+  m_packets_->inc();
   const PacketRecord record =
       PacketRecord::from_packet(pkt, node.simulator().now() + config_.clock_offset);
   for (const auto& sink : sinks_) sink(record);

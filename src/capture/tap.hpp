@@ -14,6 +14,10 @@
 #include "capture/packet_record.hpp"
 #include "net/node.hpp"
 
+namespace ddoshield::obs {
+class Counter;
+}
+
 namespace ddoshield::capture {
 
 struct TapConfig {
@@ -31,7 +35,7 @@ class PacketTap {
  public:
   using SinkFn = std::function<void(const PacketRecord&)>;
 
-  explicit PacketTap(TapConfig config = {}) : config_{config} {}
+  explicit PacketTap(TapConfig config = {});
 
   /// Registers with the node; the tap must outlive the node's traffic.
   void attach_to(net::Node& node);
@@ -52,6 +56,7 @@ class PacketTap {
   std::vector<SinkFn> sinks_;
   bool enabled_ = true;
   std::uint64_t packets_captured_ = 0;
+  obs::Counter* m_packets_;  // aggregate "capture.tap.packets"
 };
 
 }  // namespace ddoshield::capture

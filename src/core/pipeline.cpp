@@ -113,6 +113,10 @@ DetectionResult run_detection(const Scenario& scenario, const ml::Classifier& mo
   Testbed testbed{scenario};
   testbed.deploy();
   ids::RealTimeIds& ids = testbed.deploy_ids(model, ids_config);
+  // Periodic gauge snapshots (queue depths, connections, IDS backlog); one
+  // tick per detection window keeps the cost invisible next to the window
+  // computation itself.
+  testbed.enable_metrics_sampling(ids_config.window);
   testbed.run();
 
   DetectionResult result;

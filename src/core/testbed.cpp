@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "net/tcp.hpp"
 #include "util/logging.hpp"
 
 namespace ddoshield::core {
@@ -275,6 +276,28 @@ void Testbed::sample_throughput_every(SimTime interval) {
   if (!deployed_) throw std::logic_error("Testbed: deploy() before sampling");
   throughput_interval_ = interval;
   net_.simulator().schedule(interval, [this] { throughput_tick(); });
+}
+
+obs::Sampler& Testbed::enable_metrics_sampling(SimTime period) {
+  if (!deployed_) throw std::logic_error("Testbed: deploy() before sampling");
+  obs::SamplerConfig cfg;
+  cfg.period = period;
+  cfg.until = scenario_.duration;
+  sampler_ = std::make_unique<obs::Sampler>(obs::MetricsRegistry::global(), cfg);
+  sampler_->add_probe("testbed.sim_pending_events", [this] {
+    return static_cast<double>(net_.simulator().pending_events());
+  });
+  sampler_->add_probe("testbed.uplink_queue_bytes", [this] {
+    return topo_.uplink->queue_backlog_bytes(*topo_.router);
+  });
+  sampler_->add_probe("testbed.tserver_tcp_connections", [this] {
+    return static_cast<double>(topo_.tserver->tcp().active_connections());
+  });
+  sampler_->add_probe("testbed.ids_window_backlog", [this] {
+    return ids_ ? static_cast<double>(ids_->window_backlog()) : 0.0;
+  });
+  sampler_->start(net_.simulator());
+  return *sampler_;
 }
 
 void Testbed::throughput_tick() {

@@ -28,6 +28,7 @@
 #include "ids/realtime_ids.hpp"
 #include "ml/classifier.hpp"
 #include "net/network.hpp"
+#include "obs/sampler.hpp"
 
 namespace ddoshield::core {
 
@@ -93,6 +94,13 @@ class Testbed {
   /// Enables periodic throughput sampling (E6); call before run().
   void sample_throughput_every(util::SimTime interval);
 
+  /// Starts the obs sampler on the simulation clock: snapshots event-queue
+  /// depth, uplink queue occupancy, TServer active TCP connections, and —
+  /// when an IDS is deployed — the IDS window backlog into "testbed.*"
+  /// gauges every `period` of sim time until the scenario ends. Call after
+  /// deploy() (and after deploy_ids() to include the IDS probe).
+  obs::Sampler& enable_metrics_sampling(util::SimTime period = util::SimTime::millis(100));
+
  private:
   void build_containers();
   void start_benign_apps();
@@ -136,6 +144,9 @@ class Testbed {
 
   // IDS.
   std::unique_ptr<ids::RealTimeIds> ids_;
+
+  // Observability.
+  std::unique_ptr<obs::Sampler> sampler_;
 
   std::vector<ThroughputSample> throughput_;
   std::uint64_t last_benign_bytes_ = 0;

@@ -2,12 +2,18 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace ddoshield::features {
 
 FeatureAggregator::FeatureAggregator(AggregatorConfig config) : config_{config} {
   if (config_.window <= util::SimTime{}) {
     throw std::invalid_argument("FeatureAggregator: window must be positive");
   }
+  auto& reg = obs::MetricsRegistry::global();
+  m_packets_ = &reg.counter("features.packets_added");
+  m_windows_ = &reg.counter("features.windows_emitted");
+  m_extract_ns_ = &reg.histogram("features.extract_ns");
 }
 
 void FeatureAggregator::add(const capture::PacketRecord& record) {
@@ -26,6 +32,7 @@ void FeatureAggregator::add(const capture::PacketRecord& record) {
     current_window_ = w;
   }
   buffer_.push_back(record);
+  m_packets_->inc();
 }
 
 void FeatureAggregator::flush() {
@@ -39,15 +46,19 @@ void FeatureAggregator::close_window() {
   out.window_index = current_window_;
   out.window_start =
       util::SimTime::nanos(static_cast<std::int64_t>(current_window_) * config_.window.ns());
-  out.stats = compute_window_stats(buffer_, config_.window);
-  out.rows.reserve(buffer_.size());
-  out.labels.reserve(buffer_.size());
-  for (const auto& r : buffer_) {
-    out.rows.push_back(make_feature_row(r, out.stats));
-    out.labels.push_back(r.is_malicious() ? 1 : 0);
+  {
+    obs::ScopedTimer timer{*m_extract_ns_};
+    out.stats = compute_window_stats(buffer_, config_.window);
+    out.rows.reserve(buffer_.size());
+    out.labels.reserve(buffer_.size());
+    for (const auto& r : buffer_) {
+      out.rows.push_back(make_feature_row(r, out.stats));
+      out.labels.push_back(r.is_malicious() ? 1 : 0);
+    }
   }
   buffer_.clear();
   ++windows_emitted_;
+  m_windows_->inc();
   if (on_window_) on_window_(out);
 }
 

@@ -17,6 +17,11 @@
 #include "features/window_stats.hpp"
 #include "util/sim_time.hpp"
 
+namespace ddoshield::obs {
+class Counter;
+class Histogram;
+}
+
 namespace ddoshield::features {
 
 /// One closed window's worth of feature rows.
@@ -59,6 +64,11 @@ class FeatureAggregator {
   std::uint64_t current_window_ = 0;
   bool have_window_ = false;
   std::uint64_t windows_emitted_ = 0;
+
+  // Registry instruments ("features.*"), resolved once at construction.
+  obs::Counter* m_packets_;
+  obs::Counter* m_windows_;
+  obs::Histogram* m_extract_ns_;
 };
 
 /// Labelled design matrix built from a whole dataset in one pass — the

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "features/schema.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ddoshield::ids {
 
@@ -17,6 +19,13 @@ RealTimeIds::RealTimeIds(container::Container& owner, util::Rng rng,
   if (config_.window <= SimTime{}) {
     throw std::invalid_argument("RealTimeIds: window must be positive");
   }
+  auto& reg = obs::MetricsRegistry::global();
+  m_feature_ns_ = &reg.histogram("ids." + model_.name() + ".feature_ns");
+  m_inference_ns_ = &reg.histogram("ids." + model_.name() + ".inference_ns");
+  m_verdict_malicious_ = &reg.counter("ids.verdict.malicious");
+  m_verdict_benign_ = &reg.counter("ids.verdict.benign");
+  m_windows_ = &reg.counter("ids.windows_closed");
+  m_backlog_ = &reg.gauge("ids.window_backlog");
 }
 
 void RealTimeIds::attach_tap(capture::PacketTap& tap) {
@@ -47,6 +56,7 @@ void RealTimeIds::on_record(const capture::PacketRecord& record) {
   buffer_.push_back(record);
   buffer_peak_bytes_ = std::max<std::uint64_t>(
       buffer_peak_bytes_, buffer_.capacity() * sizeof(capture::PacketRecord));
+  m_backlog_->set(static_cast<double>(buffer_.size()));
 }
 
 void RealTimeIds::close_window() {
@@ -62,7 +72,7 @@ void RealTimeIds::close_window() {
   features::WindowStats stats;
   std::vector<features::FeatureRow> rows;
   {
-    ScopedCpuTimer timer{report.cpu_feature_ns};
+    obs::ScopedTimer timer{*m_feature_ns_, report.cpu_feature_ns};
     stats = features::compute_window_stats(buffer_, config_.window);
     rows.reserve(buffer_.size());
     for (const auto& r : buffer_) rows.push_back(features::make_feature_row(r, stats));
@@ -71,7 +81,7 @@ void RealTimeIds::close_window() {
   // --- detection: model inference over every row (measured) ----------------
   ml::ConfusionMatrix window_cm;
   {
-    ScopedCpuTimer timer{report.cpu_inference_ns};
+    obs::ScopedTimer timer{*m_inference_ns_, report.cpu_inference_ns};
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const int truth = buffer_[i].is_malicious() ? 1 : 0;
       const int predicted = model_.predict(rows[i]);
@@ -87,7 +97,17 @@ void RealTimeIds::close_window() {
       report.truth_malicious == 0 || report.truth_malicious == report.packets;
   reports_.push_back(report);
 
+  m_windows_->inc();
+  m_verdict_malicious_->inc(report.predicted_malicious);
+  m_verdict_benign_->inc(report.packets - report.predicted_malicious);
+
+  auto& trace = obs::TraceRecorder::global();
+  if (trace.enabled()) {
+    trace.span("ids.window." + model_.name(), "ids", report.window_start, config_.window);
+  }
+
   buffer_.clear();
+  m_backlog_->set(0.0);
 }
 
 void RealTimeIds::flush() {

@@ -21,6 +21,12 @@
 #include "ml/classifier.hpp"
 #include "ml/metrics.hpp"
 
+namespace ddoshield::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}
+
 namespace ddoshield::ids {
 
 /// One closed detection window.
@@ -64,6 +70,10 @@ class RealTimeIds : public apps::App {
   const std::vector<WindowReport>& reports() const { return reports_; }
   IdsSummary summarize() const;
 
+  /// Packets buffered in the currently open window (the obs sampler's
+  /// "ids.window_backlog" probe).
+  std::size_t window_backlog() const { return buffer_.size(); }
+
   /// Closes the current partial window (end of run).
   void flush();
 
@@ -83,6 +93,16 @@ class RealTimeIds : public apps::App {
   std::uint64_t current_window_ = 0;
   std::vector<WindowReport> reports_;
   ml::ConfusionMatrix confusion_;
+
+  // Registry instruments; the latency histograms are per-model
+  // ("ids.<model>.feature_ns" / "ids.<model>.inference_ns"), resolved
+  // once at construction.
+  obs::Histogram* m_feature_ns_;
+  obs::Histogram* m_inference_ns_;
+  obs::Counter* m_verdict_malicious_;
+  obs::Counter* m_verdict_benign_;
+  obs::Counter* m_windows_;
+  obs::Gauge* m_backlog_;
 };
 
 }  // namespace ddoshield::ids

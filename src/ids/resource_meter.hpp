@@ -15,9 +15,12 @@
 //     the inference batch chunk, mirroring how TF batches a window).
 //   * Model size — the serialized model file's size (measured elsewhere,
 //     via ml::serialize_model).
+//
+// Timing itself is done with obs::ScopedTimer (src/obs/metrics.hpp), which
+// charges the measured wall nanoseconds both to the per-window report sinks
+// consumed below and to the registry's latency histograms.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 
 namespace ddoshield::ids {
@@ -41,24 +44,6 @@ struct ResourceMeterConfig {
   double per_window_overhead_ms = 150.0;
   /// Rows per inference batch chunk (TF-style window batching).
   std::size_t inference_chunk = 32;
-};
-
-/// Scoped stopwatch charging real elapsed nanoseconds to a counter.
-class ScopedCpuTimer {
- public:
-  explicit ScopedCpuTimer(std::uint64_t& sink)
-      : sink_{sink}, start_{std::chrono::steady_clock::now()} {}
-  ~ScopedCpuTimer() {
-    const auto end = std::chrono::steady_clock::now();
-    sink_ += static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_).count());
-  }
-  ScopedCpuTimer(const ScopedCpuTimer&) = delete;
-  ScopedCpuTimer& operator=(const ScopedCpuTimer&) = delete;
-
- private:
-  std::uint64_t& sink_;
-  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace ddoshield::ids

@@ -1,8 +1,13 @@
 #include "ml/classifier.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace ddoshield::ml {
 
 std::vector<int> Classifier::predict_batch(const DesignMatrix& x) const {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("ml." + name() + ".predict_batch_rows").inc(x.rows());
+  obs::ScopedTimer timer{reg.histogram("ml." + name() + ".predict_batch_ns")};
   std::vector<int> out;
   out.reserve(x.rows());
   for (std::size_t i = 0; i < x.rows(); ++i) out.push_back(predict(x.row(i)));

@@ -4,6 +4,7 @@
 
 #include "net/node.hpp"
 #include "net/simulator.hpp"
+#include "obs/metrics.hpp"
 
 namespace ddoshield::net {
 
@@ -11,6 +12,12 @@ Link::Link(Simulator& sim, Node& a, Node& b, LinkConfig config)
     : sim_{sim}, ends_{&a, &b}, config_{config} {
   if (&a == &b) throw std::invalid_argument("Link: cannot connect a node to itself");
   if (config_.rate_bps <= 0.0) throw std::invalid_argument("Link: rate must be positive");
+  auto& reg = obs::MetricsRegistry::global();
+  m_tx_packets_ = &reg.counter("net.link.tx_packets");
+  m_tx_bytes_ = &reg.counter("net.link.tx_bytes");
+  m_dropped_packets_ = &reg.counter("net.link.dropped_packets");
+  m_dropped_bytes_ = &reg.counter("net.link.dropped_bytes");
+  m_queue_bytes_ = &reg.gauge("net.link.queue_bytes");
   a.attach_link(*this);
   b.attach_link(*this);
 }
@@ -31,6 +38,14 @@ const LinkDirectionStats& Link::stats_from(const Node& from) const {
   return dirs_[index_of(from)].stats;
 }
 
+double Link::queue_backlog_bytes(const Node& from) const {
+  const Direction& dir = dirs_[index_of(from)];
+  const util::SimTime now = sim_.now();
+  const util::SimTime backlog =
+      dir.busy_until > now ? dir.busy_until - now : util::SimTime{};
+  return backlog.to_seconds() * config_.rate_bps / 8.0;
+}
+
 bool Link::transmit(const Node& from, Packet pkt) {
   auto& dir = direction_from(from);
   const std::uint32_t bytes = pkt.wire_bytes();
@@ -38,6 +53,8 @@ bool Link::transmit(const Node& from, Packet pkt) {
   if (!up_) {
     ++dir.stats.dropped_packets;
     dir.stats.dropped_bytes += bytes;
+    m_dropped_packets_->inc();
+    m_dropped_bytes_->inc(bytes);
     return false;
   }
 
@@ -48,6 +65,8 @@ bool Link::transmit(const Node& from, Packet pkt) {
   if (backlog_bytes + bytes > static_cast<double>(config_.queue_bytes)) {
     ++dir.stats.dropped_packets;
     dir.stats.dropped_bytes += bytes;
+    m_dropped_packets_->inc();
+    m_dropped_bytes_->inc(bytes);
     return false;
   }
 
@@ -59,6 +78,9 @@ bool Link::transmit(const Node& from, Packet pkt) {
 
   ++dir.stats.tx_packets;
   dir.stats.tx_bytes += bytes;
+  m_tx_packets_->inc();
+  m_tx_bytes_->inc(bytes);
+  m_queue_bytes_->set(backlog_bytes + bytes);
 
   Node* peer = ends_[1 - index_of(from)];
   sim_.schedule_at(arrival, [peer, pkt = std::move(pkt), this]() mutable {

@@ -16,6 +16,11 @@
 #include "net/packet.hpp"
 #include "util/sim_time.hpp"
 
+namespace ddoshield::obs {
+class Counter;
+class Gauge;
+}
+
 namespace ddoshield::net {
 
 class Node;
@@ -56,6 +61,11 @@ class Link {
   const LinkConfig& config() const { return config_; }
   Node& peer_of(const Node& n) const;
 
+  /// Bytes currently implied queued in the transmitter leaving `from`
+  /// (the fluid-model backlog at the simulator's current time). The obs
+  /// sampler probes this for per-link queue-occupancy gauges.
+  double queue_backlog_bytes(const Node& from) const;
+
  private:
   struct Direction {
     util::SimTime busy_until;
@@ -70,6 +80,14 @@ class Link {
   LinkConfig config_;
   Direction dirs_[2];
   bool up_ = true;
+
+  // Aggregate registry instruments, resolved once at construction and
+  // shared by every link in the process.
+  obs::Counter* m_tx_packets_;
+  obs::Counter* m_tx_bytes_;
+  obs::Counter* m_dropped_packets_;
+  obs::Counter* m_dropped_bytes_;
+  obs::Gauge* m_queue_bytes_;
 };
 
 }  // namespace ddoshield::net

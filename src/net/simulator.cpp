@@ -3,7 +3,27 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace ddoshield::net {
+
+Simulator::Simulator() {
+  auto& reg = obs::MetricsRegistry::global();
+  m_scheduled_ = &reg.counter("net.sim.events_scheduled");
+  m_executed_ = &reg.counter("net.sim.events_executed");
+  m_cancelled_ = &reg.counter("net.sim.events_cancelled");
+}
+
+Simulator::~Simulator() { flush_stats(); }
+
+void Simulator::flush_stats() {
+  m_scheduled_->inc(next_seq_ - flushed_scheduled_);
+  flushed_scheduled_ = next_seq_;
+  m_executed_->inc(events_executed_ - flushed_executed_);
+  flushed_executed_ = events_executed_;
+  m_cancelled_->inc(events_cancelled_ - flushed_cancelled_);
+  flushed_cancelled_ = events_cancelled_;
+}
 
 void EventHandle::cancel() {
   if (cancelled_) *cancelled_ = true;
@@ -24,6 +44,7 @@ EventHandle Simulator::schedule_at(util::SimTime when, std::function<void()> fn)
   }
   auto cancelled = std::make_shared<bool>(false);
   queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
   return EventHandle{cancelled};
 }
 
@@ -32,10 +53,12 @@ void Simulator::run_until(util::SimTime until) {
     execute_next();
   }
   if (now_ < until) now_ = until;
+  flush_stats();
 }
 
 void Simulator::run_all() {
   while (!queue_.empty()) execute_next();
+  flush_stats();
 }
 
 void Simulator::clear() {
@@ -48,7 +71,10 @@ void Simulator::execute_next() {
   Event ev = queue_.top();
   queue_.pop();
   now_ = ev.when;
-  if (*ev.cancelled) return;
+  if (*ev.cancelled) {
+    ++events_cancelled_;
+    return;
+  }
   ++events_executed_;
   ev.fn();
 }

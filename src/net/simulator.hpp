@@ -15,6 +15,10 @@
 
 #include "util/sim_time.hpp"
 
+namespace ddoshield::obs {
+class Counter;
+}
+
 namespace ddoshield::net {
 
 class Simulator;
@@ -36,7 +40,8 @@ class EventHandle {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -62,6 +67,10 @@ class Simulator {
 
   std::uint64_t events_executed() const { return events_executed_; }
   std::size_t events_pending() const { return queue_.size(); }
+  /// Alias of events_pending(), the name the obs sampler probes use.
+  std::size_t pending_events() const { return queue_.size(); }
+  /// Deepest the event queue has ever been on this simulator.
+  std::size_t queue_high_water() const { return queue_high_water_; }
 
   /// Hands out process-unique packet uids.
   std::uint64_t next_packet_uid() { return ++packet_uid_; }
@@ -81,12 +90,26 @@ class Simulator {
   };
 
   void execute_next();
+  void flush_stats();
 
   util::SimTime now_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t events_cancelled_ = 0;
   std::uint64_t packet_uid_ = 0;
+  std::size_t queue_high_water_ = 0;
+
+  // The per-event hot path touches only the plain tallies above (next_seq_
+  // doubles as the scheduled count); deltas are published to the shared
+  // registry counters at run boundaries so instrumentation stays off the
+  // event loop. The registry accumulates across simulator instances.
+  std::uint64_t flushed_scheduled_ = 0;
+  std::uint64_t flushed_executed_ = 0;
+  std::uint64_t flushed_cancelled_ = 0;
+  obs::Counter* m_scheduled_;
+  obs::Counter* m_executed_;
+  obs::Counter* m_cancelled_;
 };
 
 }  // namespace ddoshield::net

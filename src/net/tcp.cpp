@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "net/node.hpp"
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace ddoshield::net {
@@ -211,6 +212,7 @@ void TcpConnection::on_retransmit_timeout() {
     }
     ++retry_count_;
     ++retransmissions_;
+    host_.m_retransmits_->inc();
     send_segment(TcpFlags::kSyn, iss_, 0, {}, false);
     arm_retransmit_timer(cfg_.syn_rto);
     return;
@@ -225,6 +227,7 @@ void TcpConnection::on_retransmit_timeout() {
     }
     ++retry_count_;
     ++retransmissions_;
+    host_.m_retransmits_->inc();
     send_segment(TcpFlags::kSyn | TcpFlags::kAck, iss_, 0, {}, false);
     arm_retransmit_timer(cfg_.syn_rto);
     return;
@@ -237,6 +240,7 @@ void TcpConnection::on_retransmit_timeout() {
   }
   ++retry_count_;
   ++retransmissions_;
+  host_.m_retransmits_->inc();
   // Multiplicative decrease, then retransmit the oldest unacked segment.
   ssthresh_ = std::max(cwnd_ / 2, 2 * cfg_.mss);
   cwnd_ = cfg_.mss;
@@ -363,6 +367,7 @@ void TcpConnection::on_segment(const Packet& pkt) {
         rto_timer_.cancel();
         state_ = TcpState::kEstablished;
         established_at_ = sim_.now();
+        host_.m_handshakes_->inc();
         send_ack();
         if (on_connected_) on_connected_();
         try_transmit();
@@ -375,6 +380,7 @@ void TcpConnection::on_segment(const Packet& pkt) {
         retry_count_ = 0;
         state_ = TcpState::kEstablished;
         established_at_ = sim_.now();
+        host_.m_handshakes_->inc();
         host_.notify_established(*this);
         // The completing ACK may already carry data.
         accept_payload(pkt);
@@ -466,7 +472,13 @@ void TcpListener::close() { open_ = false; }
 // TcpHost
 // ---------------------------------------------------------------------------
 
-TcpHost::TcpHost(Node& node, TcpConfig cfg) : node_{node}, cfg_{cfg} {}
+TcpHost::TcpHost(Node& node, TcpConfig cfg) : node_{node}, cfg_{cfg} {
+  auto& reg = obs::MetricsRegistry::global();
+  m_handshakes_ = &reg.counter("net.tcp.handshakes");
+  m_retransmits_ = &reg.counter("net.tcp.retransmits");
+  m_rst_sent_ = &reg.counter("net.tcp.rst_sent");
+  m_active_connections_ = &reg.gauge("net.tcp.active_connections");
+}
 
 std::uint32_t TcpHost::random_iss() {
   // xorshift; determinism comes from per-host call order, which the
@@ -497,16 +509,20 @@ std::shared_ptr<TcpConnection> TcpHost::connect(Endpoint remote, TrafficOrigin o
 
   auto conn = std::shared_ptr<TcpConnection>(new TcpConnection{*this, local, remote, origin});
   connections_[key] = conn;
+  m_active_connections_->add(1.0);
   conn->start_connect();
   return conn;
 }
 
 void TcpHost::register_connection(std::shared_ptr<TcpConnection> conn) {
   connections_[ConnKey{conn->local().port, conn->remote()}] = std::move(conn);
+  m_active_connections_->add(1.0);
 }
 
 void TcpHost::remove_connection(const TcpConnection& conn) {
-  connections_.erase(ConnKey{conn.local().port, conn.remote()});
+  if (connections_.erase(ConnKey{conn.local().port, conn.remote()}) > 0) {
+    m_active_connections_->add(-1.0);
+  }
 }
 
 void TcpHost::notify_established(TcpConnection& conn) {
@@ -520,6 +536,7 @@ void TcpHost::notify_established(TcpConnection& conn) {
 
 void TcpHost::send_rst_for(const Packet& pkt) {
   ++rst_sent_;
+  m_rst_sent_->inc();
   Packet rst;
   rst.src = pkt.dst;
   rst.src_port = pkt.dst_port;

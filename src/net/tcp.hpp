@@ -29,6 +29,11 @@
 #include "net/packet.hpp"
 #include "net/simulator.hpp"
 
+namespace ddoshield::obs {
+class Counter;
+class Gauge;
+}
+
 namespace ddoshield::net {
 
 class Node;
@@ -258,6 +263,12 @@ class TcpHost {
   std::map<std::uint16_t, std::weak_ptr<TcpListener>> listeners_;
   std::uint64_t rst_sent_ = 0;
   std::uint32_t iss_state_ = 0x12345678;
+
+  // Aggregate registry instruments (shared across hosts), resolved once.
+  obs::Counter* m_handshakes_;
+  obs::Counter* m_retransmits_;
+  obs::Counter* m_rst_sent_;
+  obs::Gauge* m_active_connections_;
 };
 
 }  // namespace ddoshield::net

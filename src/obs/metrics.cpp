@@ -1,0 +1,61 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+namespace ddoshield::obs {
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min());
+  if (q >= 1.0) return static_cast<double>(max_);
+
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      // Log-interpolate between the bucket's bounds by the fraction of the
+      // bucket's population below the target rank.
+      const double lo = static_cast<double>(i == 0 ? 1 : (1ull << i));
+      const double hi = static_cast<double>(1ull << (i + 1 > 63 ? 63 : i + 1));
+      const double into = 1.0 - (static_cast<double>(seen) - target) /
+                                    static_cast<double>(buckets_[i]);
+      const double v = lo * std::pow(hi / lo, into);
+      // Clamp to the observed range so tiny histograms stay intuitive.
+      return std::min(std::max(v, static_cast<double>(min())), static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) it = counters_.emplace(std::string{name}, Counter{}).first;
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) it = gauges_.emplace(std::string{name}, Gauge{}).first;
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) it = histograms_.emplace(std::string{name}, Histogram{}).first;
+  return it->second;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+}  // namespace ddoshield::obs

@@ -1,0 +1,31 @@
+#include "obs/sampler.hpp"
+
+#include <stdexcept>
+
+namespace ddoshield::obs {
+
+Sampler::Sampler(MetricsRegistry& registry, SamplerConfig config)
+    : registry_{registry}, config_{config} {
+  if (config_.period <= util::SimTime{}) {
+    throw std::invalid_argument("Sampler: period must be positive");
+  }
+}
+
+void Sampler::add_probe(std::string gauge_name, std::function<double()> probe) {
+  Gauge& gauge = registry_.gauge(gauge_name);
+  probes_.push_back(Probe{std::move(gauge_name), &gauge, std::move(probe)});
+}
+
+void Sampler::sample_now(util::SimTime now) {
+  auto& trace = TraceRecorder::global();
+  const bool tracing = trace.enabled();
+  for (const auto& probe : probes_) {
+    const double v = probe.fn();
+    probe.gauge->set(v);
+    if (tracing) trace.counter(probe.gauge_name, now, v);
+  }
+  ++samples_taken_;
+  last_sample_at_ = now;
+}
+
+}  // namespace ddoshield::obs

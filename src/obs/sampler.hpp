@@ -1,0 +1,87 @@
+// Periodic gauge sampler driven by the simulation clock.
+//
+// A Sampler owns a set of probes — closures that read a live quantity
+// (event-queue depth, link queue occupancy, active TCP connections, IDS
+// window backlog) — and, on a fixed sim-time cadence, writes each probe's
+// value into a named gauge in a MetricsRegistry. When tracing is enabled
+// it also emits one Chrome counter event per probe per tick, so the
+// sampled series render as graphs in chrome://tracing.
+//
+// start() is duck-typed on the scheduler (anything with now() and
+// schedule(delay, fn), i.e. net::Simulator) so obs stays a leaf library
+// under util and net can itself link against obs for instrumentation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/sim_time.hpp"
+
+namespace ddoshield::obs {
+
+struct SamplerConfig {
+  util::SimTime period = util::SimTime::millis(100);
+  /// Last tick scheduled at or before this time; zero means unbounded
+  /// (caller must drive the sim with run_until, never run_all).
+  util::SimTime until;
+};
+
+class Sampler {
+ public:
+  explicit Sampler(MetricsRegistry& registry, SamplerConfig config = {});
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Registers a probe whose value lands in registry gauge `gauge_name`.
+  void add_probe(std::string gauge_name, std::function<double()> probe);
+
+  /// Schedules the first tick at now() + period; each tick re-arms until
+  /// stop() or config.until. The scheduler must outlive the sampler.
+  template <typename Sim>
+  void start(Sim& sim) {
+    running_ = true;
+    arm(sim);
+  }
+
+  void stop() { running_ = false; }
+
+  /// Runs every probe once against the given timestamp (also what each
+  /// scheduled tick does with the simulator's clock).
+  void sample_now(util::SimTime now);
+
+  std::uint64_t samples_taken() const { return samples_taken_; }
+  util::SimTime last_sample_at() const { return last_sample_at_; }
+  const SamplerConfig& config() const { return config_; }
+
+ private:
+  struct Probe {
+    std::string gauge_name;
+    Gauge* gauge;
+    std::function<double()> fn;
+  };
+
+  template <typename Sim>
+  void arm(Sim& sim) {
+    if (!config_.until.is_zero() && sim.now() + config_.period > config_.until) return;
+    sim.schedule(config_.period, [this, &sim] {
+      if (!running_) return;
+      sample_now(sim.now());
+      arm(sim);
+    });
+  }
+
+  MetricsRegistry& registry_;
+  SamplerConfig config_;
+  std::vector<Probe> probes_;
+  bool running_ = false;
+  std::uint64_t samples_taken_ = 0;
+  util::SimTime last_sample_at_;
+};
+
+}  // namespace ddoshield::obs

@@ -1,0 +1,26 @@
+// JSON snapshot of a MetricsRegistry — the BENCH_*.json artifact format.
+//
+// Schema (documented in DESIGN.md "Observability"):
+//   {
+//     "schema": "ddoshield-metrics-v1",
+//     "counters":   { "<name>": <u64>, ... },
+//     "gauges":     { "<name>": {"value": <f>, "high_water": <f>}, ... },
+//     "histograms": { "<name>": {"count","sum","min","max","mean",
+//                                "p50","p90","p99"}, ... }
+//   }
+// Names are emitted sorted, so two snapshots of the same run diff cleanly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ddoshield::obs {
+
+void write_json_snapshot(const MetricsRegistry& registry, std::ostream& out);
+
+/// Convenience file form. Returns false if the file cannot be opened.
+bool write_json_snapshot_file(const MetricsRegistry& registry, const std::string& path);
+
+}  // namespace ddoshield::obs

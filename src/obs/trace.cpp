@@ -1,0 +1,122 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+namespace ddoshield::obs {
+
+namespace {
+
+// Escapes the characters JSON strings cannot carry raw. Instrument names
+// are ASCII identifiers in practice; this keeps the output valid even if
+// one is not.
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+// Sim-time nanoseconds to trace microseconds with sub-µs precision.
+void write_micros(std::ostream& out, std::int64_t ns) {
+  out << ns / 1000;
+  const std::int64_t frac = ns % 1000;
+  if (frac != 0) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, ".%03lld", static_cast<long long>(frac < 0 ? -frac : frac));
+    out << buf;
+  }
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::span(std::string_view name, std::string_view category,
+                         util::SimTime start, util::SimTime duration) {
+  if (!enabled_) return;
+  events_.push_back(Event{'X', std::string{name}, std::string{category}, start.ns(),
+                          duration.ns(), 0.0});
+}
+
+void TraceRecorder::instant(std::string_view name, std::string_view category,
+                            util::SimTime at) {
+  if (!enabled_) return;
+  events_.push_back(Event{'i', std::string{name}, std::string{category}, at.ns(), 0, 0.0});
+}
+
+void TraceRecorder::counter(std::string_view name, util::SimTime at, double value) {
+  if (!enabled_) return;
+  events_.push_back(Event{'C', std::string{name}, "counters", at.ns(), 0, value});
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+  // Sort by timestamp (stable, so simultaneous events keep record order);
+  // chrome://tracing tolerates any order but monotonic ts makes the file
+  // diffable and lets tests assert on it directly.
+  std::vector<const Event*> sorted;
+  sorted.reserve(events_.size());
+  for (const auto& e : events_) sorted.push_back(&e);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event* a, const Event* b) { return a->ts_ns < b->ts_ns; });
+
+  // One pseudo-thread per category, in first-seen order.
+  std::map<std::string, int, std::less<>> tids;
+  const auto tid_of = [&tids](const std::string& category) {
+    auto it = tids.find(category);
+    if (it == tids.end()) it = tids.emplace(category, static_cast<int>(tids.size()) + 1).first;
+    return it->second;
+  };
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event* e : sorted) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":";
+    write_json_string(out, e->name);
+    out << ",\"cat\":";
+    write_json_string(out, e->category);
+    out << ",\"ph\":\"" << e->phase << "\",\"pid\":1,\"tid\":" << tid_of(e->category)
+        << ",\"ts\":";
+    write_micros(out, e->ts_ns);
+    if (e->phase == 'X') {
+      out << ",\"dur\":";
+      write_micros(out, e->dur_ns);
+    } else if (e->phase == 'i') {
+      out << ",\"s\":\"g\"";
+    } else if (e->phase == 'C') {
+      out << ",\"args\":{\"value\":" << e->value << "}";
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+}
+
+bool TraceRecorder::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) return false;
+  write_chrome_trace(out);
+  return out.good();
+}
+
+}  // namespace ddoshield::obs

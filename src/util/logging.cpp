@@ -24,6 +24,10 @@ Logger& Logger::instance() {
 void Logger::write(LogLevel level, std::string_view component, std::string_view message) {
   std::lock_guard<std::mutex> lock{mutex_};
   std::cerr << "[" << log_level_name(level) << "] " << component << ": " << message << "\n";
+  // Errors precede crashes often enough that losing them to buffering is
+  // not acceptable; force the line out even if cerr was retargeted to a
+  // buffered stream.
+  if (level == LogLevel::kError) std::cerr.flush();
 }
 
 }  // namespace ddoshield::util

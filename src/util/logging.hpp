@@ -17,23 +17,59 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// Returns the printable name of a level, e.g. "INFO".
 std::string_view log_level_name(LogLevel level);
 
+namespace detail {
+
+/// True if the "{}" at `brace` is the inside of an escaped "{{}}".
+inline bool brace_is_escaped(std::string_view fmt, std::size_t brace) {
+  return brace > 0 && fmt[brace - 1] == '{' && brace + 2 < fmt.size() &&
+         fmt[brace + 2] == '}';
+}
+
+/// Appends fmt[pos..] with every escaped "{{}}" rendered as "{}".
+/// Unescaped "{}" (placeholders left over once arguments ran out) pass
+/// through literally.
+inline void append_tail(std::ostringstream& os, std::string_view fmt, std::size_t pos) {
+  while (true) {
+    const std::size_t esc = fmt.find("{{}}", pos);
+    if (esc == std::string_view::npos) {
+      os << fmt.substr(pos);
+      return;
+    }
+    os << fmt.substr(pos, esc - pos) << "{}";
+    pos = esc + 4;
+  }
+}
+
+}  // namespace detail
+
 /// Substitutes each "{}" in `fmt` with the next argument, streamed via
-/// operator<<. Extra "{}" render literally once arguments run out.
+/// operator<<. "{{}}" escapes a literal "{}" (it is never treated as a
+/// placeholder). Extra "{}" render literally once arguments run out;
+/// extra arguments beyond the placeholders are ignored.
 /// (std::format is unavailable on the minimum supported toolchain.)
 template <typename... Args>
 std::string format_braces(std::string_view fmt, const Args&... args) {
   std::ostringstream os;
   std::size_t pos = 0;
   auto emit_one = [&](const auto& arg) {
-    const std::size_t brace = fmt.find("{}", pos);
-    if (brace == std::string_view::npos) {
-      return;  // more args than placeholders: ignore the extras
+    while (true) {
+      const std::size_t brace = fmt.find("{}", pos);
+      if (brace == std::string_view::npos) {
+        return;  // more args than placeholders: ignore the extras
+      }
+      if (detail::brace_is_escaped(fmt, brace)) {
+        // Emit the "{{}}" as a literal "{}" and keep looking.
+        os << fmt.substr(pos, brace - 1 - pos) << "{}";
+        pos = brace + 3;
+        continue;
+      }
+      os << fmt.substr(pos, brace - pos) << arg;
+      pos = brace + 2;
+      return;
     }
-    os << fmt.substr(pos, brace - pos) << arg;
-    pos = brace + 2;
   };
   (emit_one(args), ...);
-  os << fmt.substr(pos);
+  detail::append_tail(os, fmt, pos);
   return os.str();
 }
 

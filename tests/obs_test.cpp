@@ -1,0 +1,451 @@
+// Unit tests for src/obs: metrics instruments, scoped timers, sim-time
+// tracing with Chrome export, the periodic sampler, and the JSON snapshot
+// writer.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/simulator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
+#include "util/sim_time.hpp"
+
+namespace ddoshield::obs {
+namespace {
+
+using util::SimTime;
+
+// --------------------------------------------------------------------------
+// Counter / Gauge
+// --------------------------------------------------------------------------
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, TracksValueAndHighWater) {
+  Gauge g;
+  g.set(3.0);
+  g.set(10.0);
+  g.set(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  EXPECT_DOUBLE_EQ(g.high_water(), 10.0);
+  g.add(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  EXPECT_DOUBLE_EQ(g.high_water(), 10.0);
+}
+
+// --------------------------------------------------------------------------
+// Histogram
+// --------------------------------------------------------------------------
+
+TEST(HistogramTest, LogBucketsLandWhereExpected) {
+  Histogram h;
+  h.observe(0);     // bucket 0: [0, 2)
+  h.observe(1);     // bucket 0
+  h.observe(2);     // bucket 1: [2, 4)
+  h.observe(3);     // bucket 1
+  h.observe(1024);  // bucket 10
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 2u);
+  EXPECT_EQ(h.buckets()[10], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1030u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1024u);
+}
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantilesAreOrderedAndInRange) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.observe(v);
+  const double p50 = h.quantile(0.50);
+  const double p90 = h.quantile(0.90);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 1000.0);
+  // Log-bucketed: p50 of uniform 1..1000 must land within a factor of 2.
+  EXPECT_GT(p50, 250.0);
+  EXPECT_LT(p50, 1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.observe(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.buckets()[2], 0u);
+}
+
+// --------------------------------------------------------------------------
+// MetricsRegistry
+// --------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_NE(&reg.counter("y"), &a);
+}
+
+TEST(MetricsRegistryTest, InstrumentPointersSurviveGrowth) {
+  MetricsRegistry reg;
+  Counter* first = &reg.counter("first");
+  for (int i = 0; i < 100; ++i) reg.counter("c" + std::to_string(i));
+  first->inc();
+  EXPECT_EQ(reg.counter("first").value(), 1u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  Histogram& h = reg.histogram("h");
+  c.inc(5);
+  g.set(9.0);
+  h.observe(7);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_DOUBLE_EQ(g.high_water(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(&reg.counter("c"), &c);  // same instrument, still registered
+}
+
+TEST(MetricsRegistryTest, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+// --------------------------------------------------------------------------
+// ScopedTimer
+// --------------------------------------------------------------------------
+
+TEST(ScopedTimerTest, ChargesHistogramAndSink) {
+  Histogram h;
+  std::uint64_t sink = 0;
+  {
+    ScopedTimer timer{h, sink};
+    volatile int x = 0;
+    for (int i = 0; i < 1000; ++i) x = x + i;
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(sink, 0u);
+  EXPECT_EQ(h.sum(), sink);
+}
+
+TEST(ScopedTimerTest, SinkOnlyFormMatchesOldScopedCpuTimer) {
+  std::uint64_t sink = 0;
+  { ScopedTimer timer{sink}; }
+  // Even an empty scope takes a nonzero number of wall nanoseconds on any
+  // real clock; mainly we care that the sink was written exactly once.
+  const std::uint64_t first = sink;
+  { ScopedTimer timer{sink}; }
+  EXPECT_GE(sink, first);
+}
+
+// --------------------------------------------------------------------------
+// TraceRecorder
+// --------------------------------------------------------------------------
+
+// Pulls every numeric value following `"key":` out of a JSON string.
+std::vector<double> extract_numbers(const std::string& json, const std::string& key) {
+  std::vector<double> out;
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    out.push_back(std::stod(json.substr(pos)));
+  }
+  return out;
+}
+
+TEST(TraceRecorderTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder trace;
+  EXPECT_FALSE(trace.enabled());
+  trace.span("s", "cat", SimTime::millis(1), SimTime::millis(2));
+  trace.instant("i", "cat", SimTime::millis(3));
+  trace.counter("c", SimTime::millis(4), 1.0);
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(TraceRecorderTest, ExportsMonotonicSimTimeMicros) {
+  TraceRecorder trace;
+  trace.set_enabled(true);
+  // Record deliberately out of order; export must sort by ts.
+  trace.instant("late", "ids", SimTime::millis(30));
+  trace.span("window", "ids", SimTime::millis(10), SimTime::millis(5));
+  trace.counter("queue", SimTime::millis(20), 17.0);
+  EXPECT_EQ(trace.size(), 3u);
+
+  std::ostringstream os;
+  trace.write_chrome_trace(os);
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+
+  const std::vector<double> ts = extract_numbers(json, "ts");
+  ASSERT_EQ(ts.size(), 3u);
+  for (std::size_t i = 1; i < ts.size(); ++i) EXPECT_LE(ts[i - 1], ts[i]);
+  // ts is sim-time microseconds: 10 ms span start -> 10'000 us first.
+  EXPECT_DOUBLE_EQ(ts[0], 10'000.0);
+  EXPECT_DOUBLE_EQ(ts[1], 20'000.0);
+  EXPECT_DOUBLE_EQ(ts[2], 30'000.0);
+  const std::vector<double> dur = extract_numbers(json, "dur");
+  ASSERT_EQ(dur.size(), 1u);
+  EXPECT_DOUBLE_EQ(dur[0], 5'000.0);
+}
+
+TEST(TraceRecorderTest, ExportIsStructurallyValidJson) {
+  TraceRecorder trace;
+  trace.set_enabled(true);
+  trace.span("a \"quoted\" name", "net", SimTime::nanos(1500), SimTime::nanos(500));
+  trace.instant("i", "net", SimTime::seconds(1));
+  std::ostringstream os;
+  trace.write_chrome_trace(os);
+  const std::string json = os.str();
+
+  // Braces and brackets balance and never go negative outside strings.
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  // Sub-microsecond timestamps keep nanosecond precision: 1500 ns = 1.5 us.
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ClearEmptiesTheBuffer) {
+  TraceRecorder trace;
+  trace.set_enabled(true);
+  trace.instant("i", "c", SimTime{});
+  EXPECT_EQ(trace.size(), 1u);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Sampler
+// --------------------------------------------------------------------------
+
+TEST(SamplerTest, SamplesOnCadenceAndWritesGauges) {
+  MetricsRegistry reg;
+  net::Simulator sim;
+  SamplerConfig cfg;
+  cfg.period = SimTime::millis(100);
+  Sampler sampler{reg, cfg};
+  int calls = 0;
+  sampler.add_probe("probe.value", [&calls] { return static_cast<double>(++calls); });
+  sampler.start(sim);
+  sim.run_until(SimTime::seconds(1));
+  EXPECT_EQ(sampler.samples_taken(), 10u);
+  EXPECT_EQ(calls, 10);
+  EXPECT_DOUBLE_EQ(reg.gauge("probe.value").value(), 10.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("probe.value").high_water(), 10.0);
+}
+
+TEST(SamplerTest, ObservesConsistentClockAtRunUntilBoundaries) {
+  MetricsRegistry reg;
+  net::Simulator sim;
+  SamplerConfig cfg;
+  cfg.period = SimTime::millis(250);
+  Sampler sampler{reg, cfg};
+  std::vector<SimTime> seen;
+  sampler.add_probe("probe.t", [&] {
+    seen.push_back(sim.now());
+    return 0.0;
+  });
+  sampler.start(sim);
+
+  // run_until to a boundary that is NOT a multiple of the period: ticks at
+  // 250/500/750 ms fire, the 1000 ms tick stays pending, and the clock
+  // still advances exactly to the boundary.
+  sim.run_until(SimTime::millis(900));
+  EXPECT_EQ(sim.now(), SimTime::millis(900));
+  ASSERT_EQ(seen.size(), 3u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], cfg.period * static_cast<std::int64_t>(i + 1));
+  }
+  EXPECT_EQ(sampler.last_sample_at(), SimTime::millis(750));
+  EXPECT_LE(sampler.last_sample_at(), sim.now());
+
+  // Resuming past the next boundary fires the pending tick exactly at it.
+  sim.run_until(SimTime::millis(1100));
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen.back(), SimTime::millis(1000));
+  EXPECT_EQ(sim.now(), SimTime::millis(1100));
+}
+
+TEST(SamplerTest, StopsAtConfiguredHorizon) {
+  MetricsRegistry reg;
+  net::Simulator sim;
+  SamplerConfig cfg;
+  cfg.period = SimTime::millis(100);
+  cfg.until = SimTime::millis(350);
+  Sampler sampler{reg, cfg};
+  sampler.add_probe("p", [] { return 1.0; });
+  sampler.start(sim);
+  // Bounded horizon: the sampler stops re-arming, so run_all terminates.
+  sim.run_all();
+  EXPECT_EQ(sampler.samples_taken(), 3u);  // 100, 200, 300 ms
+  EXPECT_EQ(sampler.last_sample_at(), SimTime::millis(300));
+}
+
+TEST(SamplerTest, StopHaltsFutureTicks) {
+  MetricsRegistry reg;
+  net::Simulator sim;
+  SamplerConfig cfg;
+  cfg.period = SimTime::millis(100);
+  cfg.until = SimTime::seconds(10);
+  Sampler sampler{reg, cfg};
+  sampler.add_probe("p", [] { return 1.0; });
+  sampler.start(sim);
+  sim.run_until(SimTime::millis(250));
+  sampler.stop();
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(sampler.samples_taken(), 2u);
+}
+
+TEST(SamplerTest, RejectsNonPositivePeriod) {
+  MetricsRegistry reg;
+  SamplerConfig cfg;
+  cfg.period = SimTime{};
+  EXPECT_THROW((Sampler{reg, cfg}), std::invalid_argument);
+}
+
+TEST(SamplerTest, EmitsTraceCountersWhenTracingEnabled) {
+  MetricsRegistry reg;
+  net::Simulator sim;
+  SamplerConfig cfg;
+  cfg.period = SimTime::millis(100);
+  Sampler sampler{reg, cfg};
+  sampler.add_probe("traced.gauge", [] { return 5.0; });
+  sampler.start(sim);
+
+  auto& trace = TraceRecorder::global();
+  trace.clear();
+  trace.set_enabled(true);
+  sim.run_until(SimTime::millis(200));
+  trace.set_enabled(false);
+  EXPECT_EQ(trace.size(), 2u);
+  std::ostringstream os;
+  trace.write_chrome_trace(os);
+  EXPECT_NE(os.str().find("traced.gauge"), std::string::npos);
+  trace.clear();
+}
+
+// --------------------------------------------------------------------------
+// Snapshot writer
+// --------------------------------------------------------------------------
+
+TEST(SnapshotTest, EmitsAllSectionsWithValues) {
+  MetricsRegistry reg;
+  reg.counter("net.packets").inc(123);
+  reg.gauge("queue.depth").set(4.5);
+  reg.histogram("lat.ns").observe(1000);
+  reg.histogram("lat.ns").observe(3000);
+
+  std::ostringstream os;
+  write_json_snapshot(reg, os);
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"schema\": \"ddoshield-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"net.packets\": 123"), std::string::npos);
+  EXPECT_NE(json.find("\"queue.depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"high_water\": 4.5"), std::string::npos);
+  EXPECT_NE(json.find("\"lat.ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 4000"), std::string::npos);
+
+  // Structural validity: balanced braces outside strings.
+  int depth = 0;
+  bool in_string = false;
+  for (const char c : json) {
+    if (c == '"') in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(SnapshotTest, EmptyRegistrySnapshotIsValid) {
+  MetricsRegistry reg;
+  std::ostringstream os;
+  write_json_snapshot(reg, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"counters\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\": {"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Wiring: the net layer charges the global registry
+// --------------------------------------------------------------------------
+
+TEST(WiringTest, SimulatorChargesGlobalCounters) {
+  auto& reg = MetricsRegistry::global();
+  const std::uint64_t scheduled_before = reg.counter("net.sim.events_scheduled").value();
+  const std::uint64_t executed_before = reg.counter("net.sim.events_executed").value();
+  const std::uint64_t cancelled_before = reg.counter("net.sim.events_cancelled").value();
+
+  net::Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule(SimTime::millis(i), [] {});
+  net::EventHandle dropped = sim.schedule(SimTime::millis(10), [] {});
+  dropped.cancel();
+  sim.run_all();
+
+  EXPECT_EQ(reg.counter("net.sim.events_scheduled").value() - scheduled_before, 6u);
+  EXPECT_EQ(reg.counter("net.sim.events_executed").value() - executed_before, 5u);
+  EXPECT_EQ(reg.counter("net.sim.events_cancelled").value() - cancelled_before, 1u);
+  EXPECT_EQ(sim.queue_high_water(), 6u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace ddoshield::obs

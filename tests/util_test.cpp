@@ -5,6 +5,7 @@
 #include <set>
 
 #include "util/byte_buffer.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
 #include "util/stats.hpp"
@@ -331,6 +332,66 @@ TEST(ByteBufferTest, EmptyStringRoundTrip) {
   w.put_string("");
   ByteReader r{w.bytes()};
   EXPECT_EQ(r.get_string(), "");
+}
+
+// --------------------------------------------------------------------------
+// Logging / format_braces
+// --------------------------------------------------------------------------
+
+TEST(FormatBracesTest, SubstitutesInOrder) {
+  EXPECT_EQ(format_braces("a={} b={}", 1, "two"), "a=1 b=two");
+  EXPECT_EQ(format_braces("no placeholders"), "no placeholders");
+}
+
+TEST(FormatBracesTest, MoreArgsThanPlaceholdersIgnoresExtras) {
+  EXPECT_EQ(format_braces("only {}", 1, 2, 3), "only 1");
+  EXPECT_EQ(format_braces("none", 1, 2), "none");
+  // Extra args must not eat the text after the last placeholder.
+  EXPECT_EQ(format_braces("{} tail", 1, 2), "1 tail");
+}
+
+TEST(FormatBracesTest, FewerArgsThanPlaceholdersRendersLiterally) {
+  EXPECT_EQ(format_braces("{} and {}", 7), "7 and {}");
+  EXPECT_EQ(format_braces("{} {} {}"), "{} {} {}");
+}
+
+TEST(FormatBracesTest, EscapedBracesRenderLiterally) {
+  EXPECT_EQ(format_braces("{{}}"), "{}");
+  EXPECT_EQ(format_braces("{{}}", 1), "{}");  // escape is never a placeholder
+  EXPECT_EQ(format_braces("a {{}} b {}", 1), "a {} b 1");
+  EXPECT_EQ(format_braces("{} then {{}}", 1), "1 then {}");
+  EXPECT_EQ(format_braces("{{}}{{}}", 9), "{}{}");
+}
+
+TEST(FormatBracesTest, LoneBracesPassThrough) {
+  EXPECT_EQ(format_braces("json {\"k\": {}}", 1), "json {\"k\": 1}");
+  EXPECT_EQ(format_braces("open { close }", 1), "open { close }");
+}
+
+TEST(LoggerTest, OffLevelDisablesEverything) {
+  Logger& logger = Logger::instance();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kOff);
+  EXPECT_FALSE(logger.enabled(LogLevel::kTrace));
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+  EXPECT_FALSE(logger.enabled(LogLevel::kOff));
+  logger.set_level(saved);
+}
+
+TEST(LoggerTest, ThresholdGatesLowerLevels) {
+  Logger& logger = Logger::instance();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+  logger.set_level(saved);
+}
+
+TEST(LoggerTest, LevelNamesArePrintable) {
+  EXPECT_EQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(log_level_name(LogLevel::kError), "ERROR");
 }
 
 }  // namespace
