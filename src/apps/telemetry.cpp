@@ -58,7 +58,13 @@ bool TelemetrySensor::connected() const {
   return conn_ && conn_->state() == TcpState::kEstablished;
 }
 
-void TelemetrySensor::on_start() { dial(); }
+// Dial from the event loop, not from within start(): Testbed::deploy()
+// starts apps before the simulator runs, and a synchronous connect here
+// would put a SYN on the wire that taps/checkers installed between
+// deploy() and run() never see (the testkit fuzzer caught exactly that).
+void TelemetrySensor::on_start() {
+  schedule(SimTime{}, [this] { dial(); });
+}
 
 void TelemetrySensor::on_stop() {
   if (conn_) conn_->abort();

@@ -42,6 +42,9 @@ void Container::start() {
   if (node_ == nullptr) {
     throw std::logic_error("Container::start: no network bridge for " + name_);
   }
+  if (started_once_) ++restart_count_;
+  started_once_ = true;
+  last_exit_crashed_ = false;
   state_ = ContainerState::kRunning;
   if (image_.entrypoint) image_.entrypoint(*this);
 }
@@ -51,6 +54,12 @@ void Container::stop() {
   state_ = ContainerState::kStopped;
   for (auto& hook : stop_hooks_) hook();
   stop_hooks_.clear();
+}
+
+void Container::kill() {
+  if (state_ != ContainerState::kRunning) return;
+  stop();
+  last_exit_crashed_ = true;
 }
 
 }  // namespace ddoshield::container

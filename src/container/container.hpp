@@ -60,10 +60,20 @@ class Container {
 
   // --- lifecycle -----------------------------------------------------------
   /// Runs the image entrypoint. Throws if already running or no node bound.
+  /// Restarting a stopped/killed container is legal (docker restart);
+  /// restart_count() tracks starts beyond the first.
   void start();
   void stop();
+  /// Abrupt termination (docker kill / a crashing workload): every process
+  /// in the container dies, so stop hooks still run — their job is to
+  /// cancel the dead processes' pending sim timers — but the exit is
+  /// recorded as a crash for the fault-injection bookkeeping.
+  void kill();
   /// Registers teardown work run at stop() (apps cancel their timers here).
   void on_stop(std::function<void()> fn) { stop_hooks_.push_back(std::move(fn)); }
+
+  bool last_exit_crashed() const { return last_exit_crashed_; }
+  std::uint64_t restart_count() const { return restart_count_; }
 
   ResourceAccount& resources() { return resources_; }
   const ResourceAccount& resources() const { return resources_; }
@@ -76,6 +86,9 @@ class Container {
   std::map<std::string, std::string> env_;
   std::vector<std::function<void()>> stop_hooks_;
   ResourceAccount resources_;
+  bool started_once_ = false;
+  bool last_exit_crashed_ = false;
+  std::uint64_t restart_count_ = 0;
 };
 
 }  // namespace ddoshield::container

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "botnet/floods.hpp"
+#include "net/network.hpp"
 #include "util/sim_time.hpp"
 
 namespace ddoshield::core {
@@ -66,6 +67,11 @@ struct Scenario {
   BenignLoad benign;
   std::vector<AttackBurst> attacks;
   ChurnConfig churn;
+  /// Star-topology link parameters (access links and the victim uplink).
+  /// The canonical scenarios keep the defaults; the testkit fuzzer
+  /// randomises them to explore degraded-substrate regimes. The embedded
+  /// device_count is overridden by Scenario::device_count at deploy.
+  net::StarTopologyConfig topology;
 };
 
 /// The paper's dataset-generation run (E1/E2), time-scaled.

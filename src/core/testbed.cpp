@@ -20,7 +20,7 @@ void Testbed::deploy() {
   if (deployed_) throw std::logic_error("Testbed::deploy: already deployed");
   deployed_ = true;
 
-  net::StarTopologyConfig topo_cfg;
+  net::StarTopologyConfig topo_cfg = scenario_.topology;
   topo_cfg.device_count = scenario_.device_count;
   topo_ = net::build_star_topology(net_, topo_cfg);
 
@@ -242,6 +242,27 @@ void Testbed::run() {
   run_until(scenario_.duration);
   if (ids_) ids_->flush();
   runtime_.stop_all();
+}
+
+void Testbed::crash_device(std::size_t device_index) {
+  auto& dev = runtime_.get("dev_" + std::to_string(device_index));
+  dev.kill();  // stop hooks cancel every resident app's timers
+  bots_.at(device_index).reset();
+  util::log(LogLevel::kInfo, "testbed", "device {} crashed", device_index);
+}
+
+void Testbed::restart_device(std::size_t device_index) {
+  auto& dev = runtime_.get("dev_" + std::to_string(device_index));
+  if (dev.state() == container::ContainerState::kRunning) return;
+  dev.start();
+  http_clients_.at(device_index)->start();
+  video_clients_.at(device_index)->start();
+  ftp_clients_.at(device_index)->start();
+  if (device_index < telemetry_sensors_.size() && telemetry_sensors_[device_index]) {
+    telemetry_sensors_[device_index]->start();
+  }
+  telnet_services_.at(device_index)->start();
+  util::log(LogLevel::kInfo, "testbed", "device {} restarted", device_index);
 }
 
 std::size_t Testbed::infected_devices() const {

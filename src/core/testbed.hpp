@@ -66,6 +66,16 @@ class Testbed {
   /// Runs the full scenario duration and stops all containers.
   void run();
 
+  // --- fault injection (testkit) --------------------------------------------
+  /// Kills the device's container mid-scenario: every app on it (benign
+  /// clients, telnetd, an installed bot) stops, and the bot infection is
+  /// lost — a rebooted Mirai victim comes back clean and re-vulnerable.
+  void crash_device(std::size_t device_index);
+  /// Restarts a crashed/stopped device container and its resident apps
+  /// (benign clients and the telnet daemon; bots only return through
+  /// reinfection).
+  void restart_device(std::size_t device_index);
+
   // --- access ---------------------------------------------------------------
   net::Network& network() { return net_; }
   container::ContainerRuntime& runtime() { return runtime_; }

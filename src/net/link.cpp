@@ -46,6 +46,24 @@ double Link::queue_backlog_bytes(const Node& from) const {
   return backlog.to_seconds() * config_.rate_bps / 8.0;
 }
 
+void Link::set_fault(const LinkFault& fault, std::uint64_t seed) {
+  fault_ = fault;
+  fault_rng_ = util::Rng{seed};
+}
+
+// Deterministic header mangling: the kind of damage a flaky L2 segment
+// inflicts — a few flipped bits in fields the IDS and the TCP demux both
+// read. Payload size is left intact so link/queue accounting stays exact.
+void Link::corrupt_header(Packet& pkt) {
+  pkt.corrupted = true;
+  switch (fault_rng_.uniform_u64(4)) {
+    case 0: pkt.seq ^= 1u << fault_rng_.uniform_u64(32); break;
+    case 1: pkt.src_port ^= static_cast<std::uint16_t>(1u << fault_rng_.uniform_u64(16)); break;
+    case 2: pkt.dst_port ^= static_cast<std::uint16_t>(1u << fault_rng_.uniform_u64(16)); break;
+    default: pkt.tcp_flags ^= static_cast<std::uint8_t>(1u << fault_rng_.uniform_u64(6)); break;
+  }
+}
+
 bool Link::transmit(const Node& from, Packet pkt) {
   auto& dir = direction_from(from);
   const std::uint32_t bytes = pkt.wire_bytes();
@@ -53,6 +71,15 @@ bool Link::transmit(const Node& from, Packet pkt) {
   if (!up_) {
     ++dir.stats.dropped_packets;
     dir.stats.dropped_bytes += bytes;
+    m_dropped_packets_->inc();
+    m_dropped_bytes_->inc(bytes);
+    return false;
+  }
+
+  if (fault_.drop_probability > 0.0 && fault_rng_.bernoulli(fault_.drop_probability)) {
+    ++dir.stats.dropped_packets;
+    dir.stats.dropped_bytes += bytes;
+    ++dir.stats.fault_dropped_packets;
     m_dropped_packets_->inc();
     m_dropped_bytes_->inc(bytes);
     return false;
@@ -74,7 +101,18 @@ bool Link::transmit(const Node& from, Packet pkt) {
       util::SimTime::from_seconds(static_cast<double>(bytes) * 8.0 / config_.rate_bps);
   const util::SimTime start = dir.busy_until > now ? dir.busy_until : now;
   dir.busy_until = start + tx_time;
-  const util::SimTime arrival = dir.busy_until + config_.delay;
+  util::SimTime arrival = dir.busy_until + config_.delay;
+  if (fault_.active()) {
+    arrival += fault_.extra_delay;
+    if (!fault_.jitter.is_zero()) {
+      arrival += util::SimTime::from_seconds(fault_rng_.uniform() * fault_.jitter.to_seconds());
+    }
+    if (fault_.corrupt_probability > 0.0 &&
+        fault_rng_.bernoulli(fault_.corrupt_probability)) {
+      corrupt_header(pkt);
+      ++dir.stats.corrupted_packets;
+    }
+  }
 
   ++dir.stats.tx_packets;
   dir.stats.tx_bytes += bytes;
@@ -83,8 +121,16 @@ bool Link::transmit(const Node& from, Packet pkt) {
   m_queue_bytes_->set(backlog_bytes + bytes);
 
   Node* peer = ends_[1 - index_of(from)];
-  sim_.schedule_at(arrival, [peer, pkt = std::move(pkt), this]() mutable {
-    if (up_) peer->deliver(std::move(pkt));
+  Direction* sender_dir = &dir;
+  sim_.schedule_at(arrival, [peer, sender_dir, pkt = std::move(pkt), this]() mutable {
+    if (up_) {
+      ++sender_dir->stats.delivered_packets;
+      peer->deliver(std::move(pkt));
+    } else {
+      // The link went down while the packet was propagating: account the
+      // loss so per-link conservation (tx = delivered + lost) still holds.
+      ++sender_dir->stats.lost_in_flight_packets;
+    }
   });
   return true;
 }

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "util/rng.hpp"
 #include "util/sim_time.hpp"
 
 namespace ddoshield::obs {
@@ -32,12 +33,35 @@ struct LinkConfig {
   std::uint32_t queue_bytes = 128 * 1024;  // per-direction drop-tail buffer
 };
 
-/// Per-direction counters, exposed for experiment harnesses.
+/// Per-direction counters, exposed for experiment harnesses. Conservation
+/// holds per direction once the simulator drains:
+///   offered  = tx_packets + dropped_packets
+///   tx_packets = delivered_packets + lost_in_flight_packets (+ in flight)
 struct LinkDirectionStats {
   std::uint64_t tx_packets = 0;
   std::uint64_t tx_bytes = 0;
-  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_packets = 0;  // rejected at ingress: queue, down, fault
   std::uint64_t dropped_bytes = 0;
+  std::uint64_t fault_dropped_packets = 0;  // subset of dropped: injected faults
+  std::uint64_t delivered_packets = 0;      // handed to the peer node
+  std::uint64_t lost_in_flight_packets = 0; // link went down mid-propagation
+  std::uint64_t corrupted_packets = 0;      // delivered with fault-mangled headers
+};
+
+/// Transient degradation injected by the testkit: probabilistic loss,
+/// header corruption, and added latency/jitter on top of the configured
+/// propagation delay. All randomness is drawn from a deterministic,
+/// seed-derived stream so fault schedules replay exactly.
+struct LinkFault {
+  double drop_probability = 0.0;     // Bernoulli per offered packet
+  double corrupt_probability = 0.0;  // Bernoulli per delivered packet
+  util::SimTime extra_delay;         // added to every delivery
+  util::SimTime jitter;              // uniform extra in [0, jitter)
+
+  bool active() const {
+    return drop_probability > 0.0 || corrupt_probability > 0.0 ||
+           !extra_delay.is_zero() || !jitter.is_zero();
+  }
 };
 
 class Link {
@@ -54,8 +78,16 @@ class Link {
   bool transmit(const Node& from, Packet pkt);
 
   /// Administrative state; a downed link drops everything (device churn).
+  /// Packets already propagating when the link goes down are lost and
+  /// accounted as lost_in_flight_packets on their sending direction.
   void set_up(bool up) { up_ = up; }
   bool is_up() const { return up_; }
+
+  /// Installs a fault profile on both directions; the seed derives the
+  /// deterministic stream behind drop/corrupt/jitter draws.
+  void set_fault(const LinkFault& fault, std::uint64_t seed);
+  void clear_fault() { fault_ = LinkFault{}; }
+  const LinkFault& fault() const { return fault_; }
 
   const LinkDirectionStats& stats_from(const Node& from) const;
   const LinkConfig& config() const { return config_; }
@@ -75,11 +107,15 @@ class Link {
   Direction& direction_from(const Node& from);
   int index_of(const Node& n) const;
 
+  void corrupt_header(Packet& pkt);
+
   Simulator& sim_;
   Node* ends_[2];
   LinkConfig config_;
   Direction dirs_[2];
   bool up_ = true;
+  LinkFault fault_;
+  util::Rng fault_rng_{0};
 
   // Aggregate registry instruments, resolved once at construction and
   // shared by every link in the process.

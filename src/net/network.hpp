@@ -30,6 +30,8 @@ class Network {
   Node* find_node(const std::string& name);
   std::size_t node_count() const { return nodes_.size(); }
   Node& node_at(std::size_t i) { return *nodes_.at(i); }
+  std::size_t link_count() const { return links_.size(); }
+  Link& link_at(std::size_t i) { return *links_.at(i); }
 
  private:
   Simulator sim_;

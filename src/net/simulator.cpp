@@ -70,6 +70,7 @@ void Simulator::execute_next() {
   // so copy the small members and pop before running.
   Event ev = queue_.top();
   queue_.pop();
+  if (ev.when < now_) ++time_regressions_;
   now_ = ev.when;
   if (*ev.cancelled) {
     ++events_cancelled_;

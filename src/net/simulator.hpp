@@ -72,6 +72,13 @@ class Simulator {
   /// Deepest the event queue has ever been on this simulator.
   std::size_t queue_high_water() const { return queue_high_water_; }
 
+  std::uint64_t events_cancelled() const { return events_cancelled_; }
+
+  /// Times an executed event carried a timestamp earlier than the clock.
+  /// Structurally impossible unless the queue ordering breaks; the testkit
+  /// invariant checker asserts this stays zero.
+  std::uint64_t time_regressions() const { return time_regressions_; }
+
   /// Hands out process-unique packet uids.
   std::uint64_t next_packet_uid() { return ++packet_uid_; }
 
@@ -99,6 +106,7 @@ class Simulator {
   std::uint64_t events_cancelled_ = 0;
   std::uint64_t packet_uid_ = 0;
   std::size_t queue_high_water_ = 0;
+  std::uint64_t time_regressions_ = 0;
 
   // The per-event hot path touches only the plain tallies above (next_seq_
   // doubles as the scheduled count); deltas are published to the shared

@@ -159,6 +159,7 @@ void TcpConnection::send_segment(std::uint8_t flags, std::uint32_t seq, std::uin
   pkt.payload_bytes = len;
   pkt.app_data = std::move(app_data);
   pkt.origin = origin_;
+  pkt.stack_tcp = true;
   if (count_payload) bytes_sent_ += len;
   host_.node().send(std::move(pkt));
 }
@@ -551,6 +552,7 @@ void TcpHost::send_rst_for(const Packet& pkt) {
   // responses — a RST provoked by a flood segment is part of the attack's
   // on-wire footprint.
   rst.origin = pkt.origin;
+  rst.stack_tcp = true;
   node_.send(std::move(rst));
 }
 

@@ -1,0 +1,39 @@
+#include "testkit/event_log.hpp"
+
+#include <fstream>
+
+namespace ddoshield::testkit {
+
+std::string EventLog::joined() const {
+  std::string out;
+  std::size_t total = 0;
+  for (const auto& l : lines_) total += l.size() + 1;
+  out.reserve(total);
+  for (const auto& l : lines_) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+std::uint64_t EventLog::digest() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const auto& l : lines_) {
+    for (const unsigned char c : l) {
+      h ^= c;
+      h *= 1099511628211ull;  // FNV prime
+    }
+    h ^= static_cast<unsigned char>('\n');
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool EventLog::write_file(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) return false;
+  out << joined();
+  return out.good();
+}
+
+}  // namespace ddoshield::testkit

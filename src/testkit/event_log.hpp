@@ -1,0 +1,40 @@
+// Deterministic event/trace log for replay proofs.
+//
+// Every observable the testkit cares about (tapped packets, fault
+// firings, closed IDS windows) is rendered to a text line and appended
+// here in simulation order. Two runs of the same seed must produce
+// byte-identical logs — the fuzz harness asserts equality on joined(),
+// and digest() gives a cheap fingerprint to record next to a seed.
+// Lines must therefore contain only simulation-derived values: sim
+// timestamps, packet headers, counts — never wall-clock durations,
+// pointers, or iteration order of unordered containers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddoshield::testkit {
+
+class EventLog {
+ public:
+  void append(std::string line) { lines_.push_back(std::move(line)); }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  std::size_t size() const { return lines_.size(); }
+  bool empty() const { return lines_.empty(); }
+
+  /// All lines '\n'-joined, with a trailing newline when non-empty.
+  std::string joined() const;
+
+  /// FNV-1a 64 over joined(); the per-seed fingerprint.
+  std::uint64_t digest() const;
+
+  /// Writes joined() to a file. Returns false if the file cannot open.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+}  // namespace ddoshield::testkit

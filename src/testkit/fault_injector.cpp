@@ -1,0 +1,102 @@
+#include "testkit/fault_injector.hpp"
+
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace ddoshield::testkit {
+
+FaultInjector::FaultInjector(net::Simulator& sim, std::uint64_t seed, EventLog* log)
+    : sim_{sim}, seed_{seed}, log_{log} {}
+
+void FaultInjector::fired(util::SimTime at, const std::string& what) {
+  ++faults_fired_;
+  if (log_ != nullptr) {
+    log_->append("t=" + std::to_string(at.ns()) + " fault=" + what);
+  }
+}
+
+std::uint64_t FaultInjector::next_stream_seed() {
+  // Each degraded link gets its own dice stream so adding a fault to one
+  // link never perturbs another link's draws under the same seed.
+  util::Rng r{seed_};
+  return r.fork("stream" + std::to_string(streams_issued_++)).next_u64();
+}
+
+void FaultInjector::flap_link(net::Link& link, util::SimTime at, util::SimTime down_for,
+                              const std::string& tag) {
+  faults_scheduled_ += 2;
+  net::Link* l = &link;
+  sim_.schedule_at(at, [this, l, tag]() {
+    l->set_up(false);
+    fired(sim_.now(), "link_down " + tag);
+  });
+  sim_.schedule_at(at + down_for, [this, l, tag]() {
+    l->set_up(true);
+    fired(sim_.now(), "link_up " + tag);
+  });
+}
+
+void FaultInjector::partition(const std::vector<net::Link*>& links, util::SimTime at,
+                              util::SimTime down_for, const std::string& tag) {
+  faults_scheduled_ += 2;
+  auto down = links;
+  sim_.schedule_at(at, [this, down, tag]() {
+    for (net::Link* l : down) l->set_up(false);
+    fired(sim_.now(), "partition_start " + tag + " links=" + std::to_string(down.size()));
+  });
+  sim_.schedule_at(at + down_for, [this, down, tag]() {
+    for (net::Link* l : down) l->set_up(true);
+    fired(sim_.now(), "partition_heal " + tag + " links=" + std::to_string(down.size()));
+  });
+}
+
+void FaultInjector::degrade_link(net::Link& link, util::SimTime at, util::SimTime duration,
+                                 net::LinkFault fault, const std::string& tag) {
+  faults_scheduled_ += 2;
+  const std::uint64_t stream = next_stream_seed();
+  net::Link* l = &link;
+  sim_.schedule_at(at, [this, l, fault, stream, tag]() {
+    l->set_fault(fault, stream);
+    char detail[128];
+    std::snprintf(detail, sizeof detail, " drop_p=%.6f corrupt_p=%.6f delay_ns=%lld jitter_ns=%lld",
+                  fault.drop_probability, fault.corrupt_probability,
+                  static_cast<long long>(fault.extra_delay.ns()),
+                  static_cast<long long>(fault.jitter.ns()));
+    fired(sim_.now(), "degrade_start " + tag + detail);
+  });
+  sim_.schedule_at(at + duration, [this, l, tag]() {
+    l->clear_fault();
+    fired(sim_.now(), "degrade_end " + tag);
+  });
+}
+
+void FaultInjector::crash_node(util::SimTime at, util::SimTime down_for,
+                               std::function<void()> kill, std::function<void()> restart,
+                               const std::string& tag) {
+  ++faults_scheduled_;
+  sim_.schedule_at(at, [this, kill = std::move(kill), tag]() {
+    kill();
+    fired(sim_.now(), "crash " + tag);
+  });
+  if (restart) {
+    ++faults_scheduled_;
+    sim_.schedule_at(at + down_for, [this, restart = std::move(restart), tag]() {
+      restart();
+      fired(sim_.now(), "restart " + tag);
+    });
+  }
+}
+
+void FaultInjector::crash_container(container::Container& container, util::SimTime at,
+                                    util::SimTime down_for) {
+  container::Container* c = &container;
+  crash_node(
+      at, down_for, [c]() { c->kill(); },
+      [c]() {
+        if (c->state() != container::ContainerState::kRunning) c->start();
+      },
+      "container " + container.name());
+}
+
+}  // namespace ddoshield::testkit

@@ -1,0 +1,76 @@
+// FaultInjector: schedules adverse conditions onto a live simulation.
+//
+// Every action is armed from the event loop at a simulated time, so fault
+// schedules replay exactly under the same seed. Supported faults:
+//   * flap_link / partition — administrative link-down windows (a flapping
+//     access line, a partitioned victim uplink);
+//   * degrade_link — a timed burst of probabilistic loss, header
+//     corruption, and extra delay/jitter (net::LinkFault);
+//   * crash_node — abrupt container death and later restart, expressed as
+//     caller-supplied kill/restart closures so the injector stays
+//     independent of the core testbed layer (core::Testbed::crash_device /
+//     restart_device are the canonical pair).
+//
+// Firings are appended to an optional EventLog, making the fault schedule
+// part of the run's replayable trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "container/container.hpp"
+#include "net/link.hpp"
+#include "net/simulator.hpp"
+#include "testkit/event_log.hpp"
+
+namespace ddoshield::testkit {
+
+class FaultInjector {
+ public:
+  /// `seed` derives the per-link fault streams; `log` (optional, must
+  /// outlive the injector) records each firing.
+  FaultInjector(net::Simulator& sim, std::uint64_t seed, EventLog* log = nullptr);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Takes the link down at `at` and back up `down_for` later.
+  void flap_link(net::Link& link, util::SimTime at, util::SimTime down_for,
+                 const std::string& tag = "link");
+
+  /// Takes a set of links down together — a network partition.
+  void partition(const std::vector<net::Link*>& links, util::SimTime at,
+                 util::SimTime down_for, const std::string& tag = "partition");
+
+  /// Applies `fault` to the link for `duration`, then clears it. Each
+  /// call draws a fresh deterministic stream for the link's fault dice.
+  void degrade_link(net::Link& link, util::SimTime at, util::SimTime duration,
+                    net::LinkFault fault, const std::string& tag = "link");
+
+  /// Runs `kill` at `at` and `restart` at `at + down_for` (restart may be
+  /// empty for a crash with no recovery).
+  void crash_node(util::SimTime at, util::SimTime down_for, std::function<void()> kill,
+                  std::function<void()> restart = {}, const std::string& tag = "node");
+
+  /// Container convenience: docker-kill then restart.
+  void crash_container(container::Container& container, util::SimTime at,
+                       util::SimTime down_for);
+
+  std::uint64_t faults_scheduled() const { return faults_scheduled_; }
+  std::uint64_t faults_fired() const { return faults_fired_; }
+
+ private:
+  void fired(util::SimTime at, const std::string& what);
+  std::uint64_t next_stream_seed();
+
+  net::Simulator& sim_;
+  std::uint64_t seed_;
+  std::uint64_t streams_issued_ = 0;
+  EventLog* log_;
+  std::uint64_t faults_scheduled_ = 0;
+  std::uint64_t faults_fired_ = 0;
+};
+
+}  // namespace ddoshield::testkit

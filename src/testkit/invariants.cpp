@@ -1,0 +1,287 @@
+#include "testkit/invariants.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+
+namespace ddoshield::testkit {
+
+namespace {
+
+// RFC 1982 serial comparison over the 32-bit sequence space.
+bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
+std::string flow_label(const net::Packet& pkt) {
+  return pkt.src.to_string() + ":" + std::to_string(pkt.src_port) + "->" +
+         pkt.dst.to_string() + ":" + std::to_string(pkt.dst_port);
+}
+
+}  // namespace
+
+std::string InvariantReport::summary() const {
+  std::string s = "invariants: " + std::to_string(total_violations) + " violation(s), " +
+                  std::to_string(packets_checked) + " segments checked, " +
+                  std::to_string(flows_tracked) + " flow directions, " +
+                  std::to_string(directions_checked) + " link directions";
+  for (const auto& v : violations) {
+    s += "\n  - " + v;
+  }
+  return s;
+}
+
+InvariantChecker::InvariantChecker(net::Simulator& sim) : sim_{sim} {}
+
+void InvariantChecker::violation(std::string msg) {
+  ++report_.total_violations;
+  if (report_.violations.size() < kMaxStoredViolations) {
+    report_.violations.push_back(std::move(msg));
+  }
+}
+
+void InvariantChecker::watch_node(net::Node& node) {
+  node.add_tap([this](const net::Packet& pkt, net::TapDirection dir) {
+    if (dir != net::TapDirection::kSent) return;
+    if (pkt.proto != net::IpProto::kTcp || !pkt.stack_tcp || pkt.corrupted) return;
+    on_sent_segment(pkt);
+  });
+}
+
+void InvariantChecker::watch_link_direction(net::Link& link, const net::Node& from) {
+  WatchedDirection w;
+  w.link = &link;
+  w.from = &from;
+  w.label = from.name() + "->" + link.peer_of(from).name();
+  w.baseline = link.stats_from(from);
+  directions_.push_back(std::move(w));
+}
+
+void InvariantChecker::watch_network(net::Network& net) {
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    watch_node(net.node_at(i));
+  }
+  // Every link direction shows up exactly once when enumerated as
+  // (node, interface): each link is attached to each endpoint once.
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    net::Node& n = net.node_at(i);
+    for (std::size_t k = 0; k < n.interface_count(); ++k) {
+      watch_link_direction(n.link_at(k), n);
+    }
+  }
+  auto& reg = obs::MetricsRegistry::global();
+  obs_tx_baseline_ = reg.counter("net.link.tx_packets").value();
+  obs_dropped_baseline_ = reg.counter("net.link.dropped_packets").value();
+  crosscheck_obs_ = true;
+}
+
+void InvariantChecker::on_sent_segment(const net::Packet& pkt) {
+  ++report_.packets_checked;
+  auto& st = flows_[FlowKey{pkt.src.bits(), pkt.src_port, pkt.dst.bits(), pkt.dst_port}];
+
+  const bool syn = pkt.has_flag(net::TcpFlags::kSyn);
+  const bool fin = pkt.has_flag(net::TcpFlags::kFin);
+  const bool rst = pkt.has_flag(net::TcpFlags::kRst);
+  const bool ack = pkt.has_flag(net::TcpFlags::kAck);
+  // SYN and FIN each occupy one sequence number.
+  const std::uint32_t effective_len = pkt.payload_bytes + (syn ? 1u : 0u) + (fin ? 1u : 0u);
+  const std::uint32_t edge = pkt.seq + effective_len;
+
+  if (syn) {
+    if (!st.sent_syn || pkt.seq != st.syn_seq) {
+      // First SYN, or a new ISS on a reused 4-tuple: open a fresh epoch.
+      // (A retransmitted SYN keeps its ISS and falls through unchanged.)
+      st = FlowDirState{};
+      st.sent_syn = true;
+      st.syn_seq = pkt.seq;
+      st.has_edge = true;
+      st.max_edge = edge;
+    }
+    if (pkt.payload_bytes > 0) {
+      violation("tcp: SYN carrying payload on " + flow_label(pkt) + " seq=" +
+                std::to_string(pkt.seq) + " len=" + std::to_string(pkt.payload_bytes));
+    }
+    return;
+  }
+
+  // Raw-socket responders (listener RSTs to unexpected segments) never
+  // offered a SYN; flood 4-tuple collisions make their acks jump freely,
+  // so the stateful checks below apply only to connection-ful directions.
+  if (!st.sent_syn) {
+    if (!rst && pkt.payload_bytes > 0) {
+      violation("tcp: data before handshake on " + flow_label(pkt) + " seq=" +
+                std::to_string(pkt.seq) + " len=" + std::to_string(pkt.payload_bytes));
+    }
+    return;
+  }
+
+  if (rst) {
+    // Further RSTs are legal: a closed endpoint RSTs every stray segment
+    // the peer keeps retransmitting at it.
+    st.rst_sent = true;
+    return;
+  }
+
+  if (st.rst_sent) {
+    violation("tcp: segment after RST on " + flow_label(pkt) + " seq=" +
+              std::to_string(pkt.seq) + " flags=" + std::to_string(pkt.tcp_flags));
+    return;
+  }
+
+  if (effective_len > 0) {
+    // New bytes must extend the stream contiguously: a start past the
+    // highest edge ever sent means the stack skipped sequence space.
+    if (st.has_edge && seq_lt(st.max_edge, pkt.seq)) {
+      violation("tcp: sequence gap on " + flow_label(pkt) + " seq=" +
+                std::to_string(pkt.seq) + " prev_edge=" + std::to_string(st.max_edge));
+    }
+    if (st.fin_sent) {
+      // Nothing new may follow the FIN; retransmitting up to it is legal.
+      if (seq_lt(st.fin_edge, edge)) {
+        violation("tcp: data beyond FIN on " + flow_label(pkt) + " seq=" +
+                  std::to_string(pkt.seq) + " edge=" + std::to_string(edge) +
+                  " fin_edge=" + std::to_string(st.fin_edge));
+      }
+    }
+    if (!st.has_edge || seq_lt(st.max_edge, edge)) {
+      st.has_edge = true;
+      st.max_edge = edge;
+    }
+  }
+
+  if (fin) {
+    if (st.fin_sent && st.fin_edge != edge) {
+      violation("tcp: FIN moved on " + flow_label(pkt) + " old_edge=" +
+                std::to_string(st.fin_edge) + " new_edge=" + std::to_string(edge));
+    }
+    st.fin_sent = true;
+    st.fin_edge = edge;
+  }
+
+  if (ack) {
+    if (st.has_ack && seq_lt(pkt.ack, st.last_ack)) {
+      violation("tcp: cumulative ack regressed on " + flow_label(pkt) + " ack=" +
+                std::to_string(pkt.ack) + " prev=" + std::to_string(st.last_ack));
+    }
+    if (!st.has_ack || seq_lt(st.last_ack, pkt.ack)) {
+      st.has_ack = true;
+      st.last_ack = pkt.ack;
+    }
+  }
+}
+
+std::uint64_t InvariantChecker::check_metrics(const obs::MetricsRegistry& registry,
+                                              std::vector<std::string>* out) {
+  std::uint64_t found = 0;
+  auto add = [&](std::string msg) {
+    ++found;
+    if (out != nullptr) out->push_back(std::move(msg));
+  };
+
+  for (const auto& [name, h] : registry.histograms()) {
+    std::uint64_t bucket_sum = 0;
+    for (const auto b : h.buckets()) bucket_sum += b;
+    if (bucket_sum != h.count()) {
+      add("metrics: histogram " + name + " count " + std::to_string(h.count()) +
+          " != bucket sum " + std::to_string(bucket_sum));
+    }
+    if (h.count() > 0) {
+      const double mean = h.mean();
+      if (mean < static_cast<double>(h.min()) || mean > static_cast<double>(h.max())) {
+        add("metrics: histogram " + name + " mean outside [min, max]");
+      }
+      const double p50 = h.quantile(0.50);
+      const double p90 = h.quantile(0.90);
+      const double p99 = h.quantile(0.99);
+      if (p50 > p90 || p90 > p99) {
+        add("metrics: histogram " + name + " quantiles out of order");
+      }
+    }
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    if (g.high_water() < g.value()) {
+      add("metrics: gauge " + name + " high_water below value");
+    }
+  }
+
+  // The snapshot writer must be a pure function of registry state.
+  std::ostringstream first, second;
+  obs::write_json_snapshot(registry, first);
+  obs::write_json_snapshot(registry, second);
+  if (first.str() != second.str()) {
+    add("metrics: snapshot not byte-idempotent");
+  }
+  if (first.str().find("\"schema\": \"ddoshield-metrics-v1\"") == std::string::npos) {
+    add("metrics: snapshot missing ddoshield-metrics-v1 schema tag");
+  }
+  return found;
+}
+
+InvariantReport InvariantChecker::finalize() {
+  if (finalized_) {
+    throw std::logic_error("InvariantChecker::finalize called twice");
+  }
+  finalized_ = true;
+
+  if (const auto regressions = sim_.time_regressions(); regressions != 0) {
+    violation("sim: clock ran " + std::to_string(regressions) +
+              " event(s) stamped in the past");
+  }
+
+  const bool drained = sim_.events_pending() == 0;
+  std::uint64_t tx_delta_sum = 0;
+  std::uint64_t dropped_delta_sum = 0;
+  for (const auto& w : directions_) {
+    const net::LinkDirectionStats& s = w.link->stats_from(*w.from);
+    const std::uint64_t tx = s.tx_packets - w.baseline.tx_packets;
+    const std::uint64_t delivered = s.delivered_packets - w.baseline.delivered_packets;
+    const std::uint64_t lost = s.lost_in_flight_packets - w.baseline.lost_in_flight_packets;
+    const std::uint64_t dropped = s.dropped_packets - w.baseline.dropped_packets;
+    const std::uint64_t fault_dropped =
+        s.fault_dropped_packets - w.baseline.fault_dropped_packets;
+    tx_delta_sum += tx;
+    dropped_delta_sum += dropped;
+
+    if (delivered + lost > tx) {
+      violation("link " + w.label + ": delivered+lost (" + std::to_string(delivered) +
+                "+" + std::to_string(lost) + ") exceeds tx " + std::to_string(tx));
+    } else if (drained && delivered + lost != tx) {
+      violation("link " + w.label + ": conservation broken after drain, tx=" +
+                std::to_string(tx) + " delivered=" + std::to_string(delivered) +
+                " lost_in_flight=" + std::to_string(lost));
+    }
+    if (fault_dropped > dropped) {
+      violation("link " + w.label + ": fault drops " + std::to_string(fault_dropped) +
+                " exceed total drops " + std::to_string(dropped));
+    }
+  }
+
+  if (crosscheck_obs_) {
+    auto& reg = obs::MetricsRegistry::global();
+    const std::uint64_t obs_tx = reg.counter("net.link.tx_packets").value() - obs_tx_baseline_;
+    const std::uint64_t obs_dropped =
+        reg.counter("net.link.dropped_packets").value() - obs_dropped_baseline_;
+    if (obs_tx != tx_delta_sum) {
+      violation("obs: net.link.tx_packets delta " + std::to_string(obs_tx) +
+                " != per-link sum " + std::to_string(tx_delta_sum));
+    }
+    if (obs_dropped != dropped_delta_sum) {
+      violation("obs: net.link.dropped_packets delta " + std::to_string(obs_dropped) +
+                " != per-link sum " + std::to_string(dropped_delta_sum));
+    }
+  }
+
+  report_.total_violations += check_metrics(obs::MetricsRegistry::global(), &report_.violations);
+  if (report_.violations.size() > kMaxStoredViolations) {
+    report_.violations.resize(kMaxStoredViolations);
+  }
+
+  report_.flows_tracked = flows_.size();
+  report_.directions_checked = directions_.size();
+  return report_;
+}
+
+}  // namespace ddoshield::testkit

@@ -1,0 +1,129 @@
+// InvariantChecker: always-true properties of the net/IDS pipeline,
+// asserted over live traffic.
+//
+// The checker taps watched nodes and verifies, packet by packet and at
+// finalize():
+//   * TCP state-machine legality on stack-emitted segments (Packet::
+//     stack_tcp) observed at their sender: no data before the sending
+//     direction has offered a SYN, no sequence gaps beyond the
+//     highest-sent edge, cumulative-ACK monotonicity, FIN edge immobility,
+//     and no non-RST segments after a RST (repeated RSTs are legal — a
+//     closed endpoint RSTs stray retransmissions). Raw flood forgeries
+//     and fault-corrupted
+//     headers are exempt — their illegality is intended load, not a stack
+//     bug.
+//   * Event-queue sanity: the simulator clock never ran an event stamped
+//     in its past (Simulator::time_regressions() == 0).
+//   * Per-link packet conservation: tx == delivered + lost_in_flight for
+//     every watched direction once the queue drains (<= while events are
+//     still pending), and dropped/tx tallies match the deltas charged to
+//     the global obs counters over the watch window.
+//   * Metrics self-consistency: histogram count == sum of buckets,
+//     min <= mean <= max, ordered quantiles, gauge high-water >= value,
+//     and a byte-idempotent "ddoshield-metrics-v1" snapshot.
+//
+// Sequence-number comparisons use RFC 1982 serial arithmetic, so legality
+// holds across 32-bit wrap. A SYN carrying a new ISS on an already-seen
+// flow direction silently opens a new epoch (ephemeral-port reuse), which
+// keeps flood-heavy fuzz runs free of false positives.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "net/simulator.hpp"
+
+namespace ddoshield::obs {
+class MetricsRegistry;
+}
+
+namespace ddoshield::testkit {
+
+struct InvariantReport {
+  std::vector<std::string> violations;  // first kMaxStoredViolations, verbatim
+  std::uint64_t total_violations = 0;
+  std::uint64_t packets_checked = 0;
+  std::uint64_t flows_tracked = 0;
+  std::uint64_t directions_checked = 0;
+
+  bool ok() const { return total_violations == 0; }
+  std::string summary() const;
+};
+
+class InvariantChecker {
+ public:
+  static constexpr std::size_t kMaxStoredViolations = 64;
+
+  explicit InvariantChecker(net::Simulator& sim);
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  /// Installs a tap on the node; checks every stack-emitted TCP segment
+  /// the node originates. The node must outlive the checker's finalize().
+  void watch_node(net::Node& node);
+
+  /// Records the direction's current counters as a baseline; finalize()
+  /// asserts conservation over everything sent after this point.
+  void watch_link_direction(net::Link& link, const net::Node& from);
+
+  /// Watches every node and both directions of every link, and snapshots
+  /// the global obs link counters so finalize() can cross-check them.
+  void watch_network(net::Network& net);
+
+  /// Runs the end-of-run checks and returns the combined report. May be
+  /// called once; packet-level violations found earlier are included.
+  InvariantReport finalize();
+
+  /// Metrics-only consistency pass, usable standalone in unit tests.
+  /// Appends any violations to `out` and returns the number found.
+  static std::uint64_t check_metrics(const obs::MetricsRegistry& registry,
+                                     std::vector<std::string>* out);
+
+ private:
+  // One direction of one flow: packets src:sport -> dst:dport.
+  using FlowKey = std::tuple<std::uint32_t, std::uint16_t, std::uint32_t, std::uint16_t>;
+
+  struct FlowDirState {
+    bool sent_syn = false;       // this side offered SYN or SYN-ACK
+    std::uint32_t syn_seq = 0;   // ISS of the current epoch
+    bool has_edge = false;
+    std::uint32_t max_edge = 0;  // highest seq + effective_len sent
+    bool has_ack = false;
+    std::uint32_t last_ack = 0;
+    bool fin_sent = false;
+    std::uint32_t fin_edge = 0;  // seq + payload + 1 of the FIN segment
+    bool rst_sent = false;
+  };
+
+  struct WatchedDirection {
+    net::Link* link;
+    const net::Node* from;
+    std::string label;                    // "a->b" for messages
+    net::LinkDirectionStats baseline;
+  };
+
+  void on_sent_segment(const net::Packet& pkt);
+  void violation(std::string msg);
+
+  net::Simulator& sim_;
+  std::map<FlowKey, FlowDirState> flows_;
+  std::vector<WatchedDirection> directions_;
+  bool finalized_ = false;
+
+  // Global obs counter values when watch_network() ran; 0-delta when no
+  // network was watched whole, in which case the cross-check is skipped.
+  bool crosscheck_obs_ = false;
+  std::uint64_t obs_tx_baseline_ = 0;
+  std::uint64_t obs_dropped_baseline_ = 0;
+
+  InvariantReport report_;
+};
+
+}  // namespace ddoshield::testkit

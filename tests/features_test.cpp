@@ -226,6 +226,72 @@ TEST(WindowStatsTest, StatsFillRowBlock) {
 }
 
 // --------------------------------------------------------------------------
+// 1 s window boundaries: single-packet windows, an empty window between
+// populated ones, and a packet stamped exactly on the window edge.
+// --------------------------------------------------------------------------
+
+TEST(WindowStatsTest, SinglePacketWindowIsFullyDefined) {
+  std::vector<PacketRecord> packets{tcp_packet(250, 1, 1000, 80, net::TcpFlags::kSyn, 0, 7)};
+  const auto stats = compute_window_stats(packets, SimTime::seconds(1));
+  EXPECT_EQ(stats.packet_count, 1u);
+  EXPECT_DOUBLE_EQ(stats.byte_rate, 40.0);     // one 40-byte header per second
+  EXPECT_DOUBLE_EQ(stats.dst_port_entropy, 0.0);
+  EXPECT_DOUBLE_EQ(stats.src_addr_entropy, 0.0);
+  EXPECT_DOUBLE_EQ(stats.syn_no_ack_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(stats.short_lived_flows, 1.0);
+  EXPECT_DOUBLE_EQ(stats.repeated_attempts, 0.0);  // one SYN, not three
+  EXPECT_DOUBLE_EQ(stats.seq_variance_log, 0.0);   // a single seq has no variance
+  EXPECT_DOUBLE_EQ(stats.mean_payload, 0.0);
+  EXPECT_DOUBLE_EQ(stats.udp_fraction, 0.0);
+}
+
+TEST(WindowStatsTest, EmptyWindowStaysZeroWithAnyDuration) {
+  const auto stats = compute_window_stats({}, SimTime::millis(1));
+  EXPECT_EQ(stats.packet_count, 0u);
+  EXPECT_DOUBLE_EQ(stats.byte_rate, 0.0);
+  EXPECT_DOUBLE_EQ(stats.udp_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(stats.seq_variance_log, 0.0);
+}
+
+TEST(AggregatorTest, PacketExactlyOnWindowEdgeOpensTheNextWindow) {
+  FeatureAggregator agg;
+  std::vector<WindowOutput> windows;
+  agg.set_on_window([&](const WindowOutput& w) { windows.push_back(w); });
+
+  // Window 0 is [0, 1000) ms: 999 ms is the last tick inside it, and a
+  // packet stamped exactly at the 1000 ms edge belongs to window 1.
+  agg.add(tcp_packet(999, 1, 1000, 80, 0, 10));
+  agg.add(tcp_packet(1000, 1, 1000, 80, 0, 10));
+  agg.add(tcp_packet(1999, 1, 1000, 80, 0, 10));
+  agg.add(tcp_packet(2000, 1, 1000, 80, 0, 10));
+  agg.flush();
+
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].window_index, 0u);
+  EXPECT_EQ(windows[0].rows.size(), 1u);
+  EXPECT_EQ(windows[1].window_index, 1u);
+  EXPECT_EQ(windows[1].rows.size(), 2u);  // the edge packet + 1999 ms
+  EXPECT_EQ(windows[1].window_start, SimTime::seconds(1));
+  EXPECT_EQ(windows[2].window_index, 2u);
+  EXPECT_EQ(windows[2].rows.size(), 1u);
+  EXPECT_EQ(windows[2].window_start, SimTime::seconds(2));
+}
+
+TEST(AggregatorTest, SingleEdgePacketMakesASingletonWindow) {
+  FeatureAggregator agg;
+  std::vector<WindowOutput> windows;
+  agg.set_on_window([&](const WindowOutput& w) { windows.push_back(w); });
+  agg.add(tcp_packet(3000, 1, 1000, 80, 0, 10));  // exactly on the w3 edge
+  agg.flush();
+
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].window_index, 3u);
+  EXPECT_EQ(windows[0].rows.size(), 1u);
+  // The statistical block of a singleton window is well-defined.
+  EXPECT_DOUBLE_EQ(windows[0].rows[0][kWinPacketCount], 1.0);
+}
+
+// --------------------------------------------------------------------------
 // FeatureAggregator
 // --------------------------------------------------------------------------
 

@@ -372,6 +372,118 @@ TEST_F(TcpFixture, EstablishedAtTimestampIsSet) {
   EXPECT_GT(conn->established_at().ns(), 0);
 }
 
+// --------------------------------------------------------------------------
+// Retransmission-timeout backoff: the exact exponential schedule, edge to
+// edge. SYN retries double from syn_rto (500 ms): sends at 0, 0.5, 1.5,
+// 3.5, 7.5 s, and the connect gives up one doubled timeout after the
+// final retry, at 15.5 s.
+// --------------------------------------------------------------------------
+
+TEST_F(TcpFixture, SynRetransmitBackoffFollowsExactSchedule) {
+  link->set_up(false);  // black-hole: nothing ever answers
+  std::vector<std::int64_t> syn_sends_ms;
+  client->add_tap([&](const Packet& pkt, TapDirection dir) {
+    if (dir == TapDirection::kSent && pkt.has_flag(TcpFlags::kSyn)) {
+      syn_sends_ms.push_back(net.simulator().now().to_millis());
+    }
+  });
+
+  SimTime closed_at;
+  TcpCloseReason reason{};
+  auto conn = client->tcp().connect(server_ep(80), TrafficOrigin::kHttp);
+  conn->set_on_closed([&](TcpCloseReason r) {
+    reason = r;
+    closed_at = net.simulator().now();
+  });
+  net.simulator().run_until(SimTime::seconds(60));
+
+  EXPECT_EQ(syn_sends_ms, (std::vector<std::int64_t>{0, 500, 1500, 3500, 7500}));
+  EXPECT_EQ(reason, TcpCloseReason::kConnectTimeout);
+  EXPECT_EQ(closed_at, SimTime::millis(15'500));
+  EXPECT_EQ(conn->retransmissions(), 4u);
+}
+
+TEST_F(TcpFixture, DataRetransmitBackoffDoublesUntilRetryLimit) {
+  auto listener = server->tcp().listen(80);
+  listener->set_on_accept([](std::shared_ptr<TcpConnection>) {});
+  auto conn = client->tcp().connect(server_ep(80), TrafficOrigin::kHttp);
+
+  // Once established, cut the link at exactly t=100 ms and push one
+  // segment into the void. base_rto=250 ms, so with per-retry doubling
+  // the data goes out at 100, 350, 850, 1850, 3850, 7850, 15850 ms, and
+  // the connection dies one doubled timeout later, at 31850 ms — the
+  // worst-case drain the fuzzer's post-run grace period must cover.
+  std::vector<std::int64_t> data_sends_ms;
+  client->add_tap([&](const Packet& pkt, TapDirection dir) {
+    if (dir == TapDirection::kSent && pkt.payload_bytes > 0) {
+      data_sends_ms.push_back(net.simulator().now().to_millis());
+    }
+  });
+  SimTime closed_at;
+  TcpCloseReason reason{};
+  conn->set_on_closed([&](TcpCloseReason r) {
+    reason = r;
+    closed_at = net.simulator().now();
+  });
+  net.simulator().schedule_at(SimTime::millis(100), [&] {
+    ASSERT_EQ(conn->state(), TcpState::kEstablished);
+    link->set_up(false);
+    conn->send(1000);
+  });
+
+  net.simulator().run_until(SimTime::seconds(120));
+  EXPECT_EQ(data_sends_ms,
+            (std::vector<std::int64_t>{100, 350, 850, 1850, 3850, 7850, 15850}));
+  EXPECT_EQ(reason, TcpCloseReason::kRetransmitLimit);
+  EXPECT_EQ(closed_at, SimTime::millis(31'850));
+  EXPECT_EQ(conn->retransmissions(), 6u);
+}
+
+TEST_F(TcpFixture, AckDuringBackoffResetsRetrySchedule) {
+  auto listener = server->tcp().listen(80);
+  std::shared_ptr<TcpConnection> server_conn;
+  std::uint64_t got = 0;
+  listener->set_on_accept([&](std::shared_ptr<TcpConnection> c) {
+    server_conn = c;
+    c->set_on_data([&](std::uint32_t n, const std::string&) { got += n; });
+  });
+  auto conn = client->tcp().connect(server_ep(80), TrafficOrigin::kHttp);
+
+  // Lose two retries' worth of time, then heal the link: the segment is
+  // retransmitted and acked, and the retry counter must reset so a later
+  // loss restarts the backoff ladder from base_rto instead of resuming
+  // where the first episode left off.
+  net.simulator().schedule_at(SimTime::millis(100), [&] {
+    link->set_up(false);
+    conn->send(500);
+  });
+  net.simulator().schedule_at(SimTime::millis(900), [&] { link->set_up(true); });
+  net.simulator().run_until(SimTime::seconds(5));
+  ASSERT_EQ(got, 500u);
+  ASSERT_EQ(conn->state(), TcpState::kEstablished);
+  const auto retrans_first_episode = conn->retransmissions();
+  ASSERT_GE(retrans_first_episode, 2u);
+
+  std::vector<std::int64_t> second_episode_ms;
+  client->add_tap([&](const Packet& pkt, TapDirection dir) {
+    if (dir == TapDirection::kSent && pkt.payload_bytes > 0) {
+      second_episode_ms.push_back(net.simulator().now().to_millis());
+    }
+  });
+  net.simulator().schedule_at(SimTime::seconds(10), [&] {
+    link->set_up(false);
+    conn->send(500);
+  });
+  net.simulator().schedule_at(SimTime::millis(10'400), [&] { link->set_up(true); });
+  net.simulator().run_until(SimTime::seconds(20));
+
+  EXPECT_EQ(got, 1000u);
+  // Fresh ladder: original at 10000 ms, first retry one base_rto later.
+  ASSERT_GE(second_episode_ms.size(), 2u);
+  EXPECT_EQ(second_episode_ms[0], 10'000);
+  EXPECT_EQ(second_episode_ms[1], 10'250);
+}
+
 TEST(TcpStateNames, AllDistinct) {
   EXPECT_EQ(to_string(TcpState::kListen), "LISTEN");
   EXPECT_EQ(to_string(TcpState::kEstablished), "ESTABLISHED");

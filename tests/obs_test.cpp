@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -99,6 +101,60 @@ TEST(HistogramTest, ResetClearsEverything) {
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.sum(), 0u);
   EXPECT_EQ(h.buckets()[2], 0u);
+}
+
+TEST(HistogramTest, ExactPowersOfTwoOpenTheirOwnBucket) {
+  // 2^k is the inclusive lower edge of bucket k, and 2^k - 1 is the
+  // inclusive upper edge of bucket k-1 — the off-by-one the log2 bucketing
+  // is most likely to get wrong.
+  Histogram at_edge;
+  for (std::size_t k = 1; k < Histogram::kBuckets; ++k) at_edge.observe(1ull << k);
+  for (std::size_t k = 1; k < Histogram::kBuckets; ++k) {
+    EXPECT_EQ(at_edge.buckets()[k], 1u) << "2^" << k;
+  }
+  EXPECT_EQ(at_edge.count(), Histogram::kBuckets - 1);
+
+  Histogram below_edge;
+  for (std::size_t k = 2; k < Histogram::kBuckets; ++k) below_edge.observe((1ull << k) - 1);
+  for (std::size_t k = 2; k < Histogram::kBuckets; ++k) {
+    EXPECT_EQ(below_edge.buckets()[k - 1], 1u) << "2^" << k << " - 1";
+  }
+}
+
+TEST(HistogramTest, ZeroAndUint64MaxLandAtTheExtremes) {
+  Histogram h;
+  h.observe(0);
+  h.observe(1);
+  h.observe(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.buckets()[0], 2u);  // 0 and 1 share the [0, 2) bucket
+  EXPECT_EQ(h.buckets()[Histogram::kBuckets - 1], 1u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, CountAlwaysEqualsBucketSum) {
+  Histogram h;
+  const std::uint64_t samples[] = {0, 1, 2, 3, 4, 1023, 1024, 1025,
+                                   (1ull << 32), std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : samples) h.observe(v);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : h.buckets()) total += b;
+  EXPECT_EQ(total, h.count());
+  EXPECT_EQ(h.count(), 10u);
+}
+
+TEST(HistogramTest, BucketFloorAgreesWithBucketAssignment) {
+  EXPECT_EQ(Histogram::bucket_floor(0), 0u);
+  EXPECT_EQ(Histogram::bucket_floor(1), 2u);
+  EXPECT_EQ(Histogram::bucket_floor(10), 1024u);
+  EXPECT_EQ(Histogram::bucket_floor(63), 1ull << 63);
+  // A sample equal to bucket_floor(k) must land in bucket k.
+  for (std::size_t k = 0; k < Histogram::kBuckets; ++k) {
+    Histogram h;
+    h.observe(Histogram::bucket_floor(k));
+    EXPECT_EQ(h.buckets()[k], 1u) << "floor of bucket " << k;
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -422,6 +478,40 @@ TEST(SnapshotTest, EmptyRegistrySnapshotIsValid) {
   EXPECT_NE(json.find("\"counters\": {"), std::string::npos);
   EXPECT_NE(json.find("\"gauges\": {"), std::string::npos);
   EXPECT_NE(json.find("\"histograms\": {"), std::string::npos);
+}
+
+// The fixture behind tests/golden/metrics_snapshot_v1.json. Values are
+// chosen to exercise every section: an escaped name, a negative gauge,
+// and a histogram whose quantiles need log interpolation.
+void fill_golden_fixture_registry(MetricsRegistry& reg) {
+  reg.counter("net.link.tx_packets").inc(123456);
+  reg.counter("net.link.dropped_packets").inc(789);
+  reg.counter("weird\"name\\with.escapes").inc(1);
+  reg.gauge("ids.queue_depth").set(7.0);
+  reg.gauge("ids.queue_depth").set(2.5);
+  reg.gauge("net.backlog").set(-1.25);
+  auto& h = reg.histogram("ids.window_infer_ns");
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 1023ull, 1024ull, 1ull << 20}) h.observe(v);
+  reg.histogram("empty.histogram");
+}
+
+// Pins the exact bytes of the "ddoshield-metrics-v1" schema. If this test
+// fails because the format intentionally changed, bump the schema string
+// and regenerate the golden file from the failure output — consumers parse
+// these snapshots (BENCH_*.json) and silent drift breaks them.
+TEST(SnapshotTest, MatchesGoldenFile) {
+  MetricsRegistry reg;
+  fill_golden_fixture_registry(reg);
+  std::ostringstream os;
+  write_json_snapshot(reg, os);
+
+  const std::string path = std::string{DDOS_TEST_DATA_DIR} + "/golden/metrics_snapshot_v1.json";
+  std::ifstream in{path};
+  ASSERT_TRUE(in.is_open()) << "missing golden file: " << path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  EXPECT_EQ(os.str(), golden.str());
 }
 
 // --------------------------------------------------------------------------

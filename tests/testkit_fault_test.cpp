@@ -1,0 +1,216 @@
+// FaultInjector behaviour: link flaps with exact conservation accounting,
+// probabilistic degradation (loss, corruption, delay), container crash /
+// restart semantics, and testbed-level device crash recovery.
+#include <gtest/gtest.h>
+
+#include "container/container.hpp"
+#include "core/testbed.hpp"
+#include "net/network.hpp"
+#include "testkit/event_log.hpp"
+#include "testkit/fault_injector.hpp"
+
+namespace ddoshield::testkit {
+namespace {
+
+using util::SimTime;
+
+// A two-node UDP rig: `sends` packets, one every 10 ms starting at t=0.
+struct UdpRig {
+  net::Network net;
+  net::Node& a;
+  net::Node& b;
+  net::Link& link;
+  std::uint64_t received = 0;
+  SimTime last_arrival;
+
+  explicit UdpRig(net::LinkConfig cfg = {.rate_bps = 10e6,
+                                         .delay = SimTime::millis(20),
+                                         .queue_bytes = 1 << 20})
+      : a{net.add_node("a", net::Ipv4Address{10, 0, 0, 1})},
+        b{net.add_node("b", net::Ipv4Address{10, 0, 0, 2})},
+        link{net.add_link(a, b, cfg)} {
+    a.set_default_route(0);
+    b.set_default_route(0);
+    b.add_tap([this](const net::Packet&, net::TapDirection dir) {
+      if (dir == net::TapDirection::kReceived) {
+        ++received;
+        last_arrival = net.simulator().now();
+      }
+    });
+  }
+
+  void send_every_10ms(int count) {
+    for (int i = 0; i < count; ++i) {
+      net.simulator().schedule_at(SimTime::millis(10 * i), [this] {
+        net::Packet pkt;
+        pkt.dst = b.address();
+        pkt.proto = net::IpProto::kUdp;
+        pkt.src_port = 1000;
+        pkt.dst_port = 2000;
+        pkt.payload_bytes = 100;
+        a.send(pkt);
+      });
+    }
+  }
+};
+
+TEST(FaultInjectorTest, FlapDropsIngressAndLosesInFlight) {
+  UdpRig rig;
+  EventLog log;
+  FaultInjector injector{rig.net.simulator(), 1, &log};
+
+  rig.send_every_10ms(100);  // t = 0 .. 990 ms
+  injector.flap_link(rig.link, SimTime::millis(305), SimTime::millis(200), "ab");
+  rig.net.simulator().run_all();
+
+  // Sends at 310..500 ms hit a downed link (20 ingress drops); packets
+  // sent at 290 and 300 ms were still propagating (20 ms delay) when the
+  // link dropped at 305 ms, so they are lost in flight.
+  const auto& s = rig.link.stats_from(rig.a);
+  EXPECT_EQ(s.dropped_packets, 20u);
+  EXPECT_EQ(s.lost_in_flight_packets, 2u);
+  EXPECT_EQ(s.tx_packets, s.delivered_packets + s.lost_in_flight_packets);
+  EXPECT_EQ(rig.received, s.delivered_packets);
+  EXPECT_EQ(rig.received, 78u);
+
+  EXPECT_EQ(injector.faults_scheduled(), 2u);
+  EXPECT_EQ(injector.faults_fired(), 2u);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_NE(log.lines()[0].find("fault=link_down ab"), std::string::npos);
+  EXPECT_NE(log.lines()[1].find("fault=link_up ab"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, DegradeWithCertainLossDropsTheWindow) {
+  UdpRig rig;
+  FaultInjector injector{rig.net.simulator(), 2};
+
+  rig.send_every_10ms(50);  // t = 0 .. 490 ms
+  net::LinkFault fault;
+  fault.drop_probability = 1.0;
+  injector.degrade_link(rig.link, SimTime::millis(105), SimTime::millis(100), fault);
+  rig.net.simulator().run_all();
+
+  // Sends at 110..200 ms (10 packets) are fault-dropped; everything else
+  // arrives. Conservation still balances.
+  const auto& s = rig.link.stats_from(rig.a);
+  EXPECT_EQ(s.fault_dropped_packets, 10u);
+  EXPECT_EQ(s.dropped_packets, 10u);
+  EXPECT_EQ(rig.received, 40u);
+  EXPECT_EQ(s.tx_packets, s.delivered_packets + s.lost_in_flight_packets);
+  EXPECT_TRUE(rig.link.fault().active() == false);  // cleared at window end
+}
+
+TEST(FaultInjectorTest, CorruptionMarksDeliveredPackets) {
+  UdpRig rig;
+  std::uint64_t corrupted_seen = 0;
+  rig.b.add_tap([&](const net::Packet& pkt, net::TapDirection dir) {
+    if (dir == net::TapDirection::kReceived && pkt.corrupted) ++corrupted_seen;
+  });
+  FaultInjector injector{rig.net.simulator(), 3};
+
+  rig.send_every_10ms(30);
+  net::LinkFault fault;
+  fault.corrupt_probability = 1.0;
+  injector.degrade_link(rig.link, SimTime::millis(105), SimTime::millis(100), fault);
+  rig.net.simulator().run_all();
+
+  const auto& s = rig.link.stats_from(rig.a);
+  EXPECT_EQ(s.corrupted_packets, 10u);
+  EXPECT_EQ(corrupted_seen, 10u);
+  EXPECT_EQ(rig.received, 30u);  // corrupted packets still arrive
+}
+
+TEST(FaultInjectorTest, ExtraDelayShiftsArrival) {
+  UdpRig rig;
+  FaultInjector injector{rig.net.simulator(), 4};
+
+  // One packet inside the degraded window.
+  rig.net.simulator().schedule_at(SimTime::millis(150), [&] {
+    net::Packet pkt;
+    pkt.dst = rig.b.address();
+    pkt.proto = net::IpProto::kUdp;
+    pkt.payload_bytes = 100;
+    rig.a.send(pkt);
+  });
+  net::LinkFault fault;
+  fault.extra_delay = SimTime::millis(50);
+  injector.degrade_link(rig.link, SimTime::millis(100), SimTime::millis(200), fault);
+  rig.net.simulator().run_all();
+
+  ASSERT_EQ(rig.received, 1u);
+  // Base arrival = send + serialization + 20 ms propagation; the fault
+  // adds 50 ms on top.
+  EXPECT_GE(rig.last_arrival, SimTime::millis(150 + 20 + 50));
+  EXPECT_LT(rig.last_arrival, SimTime::millis(150 + 20 + 50 + 5));
+}
+
+TEST(FaultInjectorTest, PartitionTakesAllLinksDownTogether) {
+  net::Network net;
+  net::Node& a = net.add_node("a", net::Ipv4Address{10, 0, 0, 1});
+  net::Node& b = net.add_node("b", net::Ipv4Address{10, 0, 0, 2});
+  net::Node& c = net.add_node("c", net::Ipv4Address{10, 0, 0, 3});
+  net::Link& ab = net.add_link(a, b);
+  net::Link& bc = net.add_link(b, c);
+
+  FaultInjector injector{net.simulator(), 5};
+  injector.partition({&ab, &bc}, SimTime::millis(100), SimTime::millis(100));
+
+  net.simulator().run_until(SimTime::millis(150));
+  EXPECT_FALSE(ab.is_up());
+  EXPECT_FALSE(bc.is_up());
+  net.simulator().run_until(SimTime::millis(250));
+  EXPECT_TRUE(ab.is_up());
+  EXPECT_TRUE(bc.is_up());
+}
+
+TEST(FaultInjectorTest, CrashContainerKillsAndRestarts) {
+  net::Network net;
+  net::Node& n = net.add_node("host", net::Ipv4Address{10, 0, 0, 1});
+
+  int entry_runs = 0;
+  container::Container box{"box", container::Image{"img", "1", [&](container::Container&) {
+                                                     ++entry_runs;
+                                                   }}};
+  box.attach_node(n);
+  box.start();
+
+  FaultInjector injector{net.simulator(), 6};
+  injector.crash_container(box, SimTime::millis(100), SimTime::millis(300));
+
+  net.simulator().run_until(SimTime::millis(200));
+  EXPECT_EQ(box.state(), container::ContainerState::kStopped);
+  EXPECT_TRUE(box.last_exit_crashed());
+
+  net.simulator().run_all();
+  EXPECT_EQ(box.state(), container::ContainerState::kRunning);
+  EXPECT_FALSE(box.last_exit_crashed());
+  EXPECT_EQ(box.restart_count(), 1u);
+  EXPECT_EQ(entry_runs, 2);
+}
+
+TEST(FaultInjectorTest, TestbedDeviceCrashAndRecovery) {
+  core::Scenario s;
+  s.seed = 99;
+  s.device_count = 2;
+  s.duration = SimTime::seconds(2);
+  s.infection_start = SimTime::seconds(10);  // no infection in this run
+  core::Testbed bed{s};
+  bed.deploy();
+
+  FaultInjector injector{bed.network().simulator(), 7};
+  injector.crash_node(
+      SimTime::millis(500), SimTime::millis(400), [&bed] { bed.crash_device(0); },
+      [&bed] { bed.restart_device(0); }, "dev_0");
+
+  bed.run_until(SimTime::millis(700));
+  EXPECT_EQ(bed.runtime().get("dev_0").state(), container::ContainerState::kStopped);
+  EXPECT_TRUE(bed.runtime().get("dev_0").last_exit_crashed());
+  EXPECT_EQ(bed.runtime().get("dev_1").state(), container::ContainerState::kRunning);
+
+  bed.run();
+  EXPECT_EQ(bed.runtime().get("dev_0").restart_count(), 1u);
+  EXPECT_EQ(injector.faults_fired(), 2u);
+}
+
+}  // namespace
+}  // namespace ddoshield::testkit
