@@ -1,0 +1,437 @@
+// bench_scale: macrobenchmark of the hot-path overhaul, sweeping device
+// count through the real Testbed + RealTimeIds pipeline.
+//
+// Each sweep point runs the same deterministic scenario twice per mode
+// request:
+//   * "legacy" — binary-heap scheduler + per-packet heap allocation
+//     (PacketPool bypass): the pre-overhaul configuration;
+//   * "tuned"  — calendar-queue scheduler + pooled packets.
+// Both modes execute the identical event sequence (the scheduler backends
+// pop in the same (when, seq) order and the pool does not change
+// behaviour), so total events / tapped packets are deterministic counters:
+// equal across modes, stable across machines, and gateable in CI. Wall-
+// clock throughput (events/s, packets/s) is machine-dependent and reported
+// but never gated.
+//
+// Outputs BENCH_SCALE.json. With --golden FILE the deterministic counters
+// are checked against the committed golden and the process exits non-zero
+// on any drift (the CI perf-smoke gate); --write-golden regenerates it.
+//
+// Usage:
+//   bench_scale [--small] [--mode both|tuned|legacy] [--out FILE]
+//               [--golden FILE] [--write-golden FILE]
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "core/pipeline.hpp"
+#include "core/scenario.hpp"
+#include "core/testbed.hpp"
+#include "features/extractor.hpp"
+#include "features/window_stats.hpp"
+#include "ml/kmeans.hpp"
+#include "net/node.hpp"
+#include "net/simulator.hpp"
+#include "util/logging.hpp"
+
+using namespace ddoshield;
+
+namespace {
+
+struct SweepPoint {
+  std::size_t devices = 0;
+  std::int64_t sim_seconds = 0;
+};
+
+// Larger fleets run fewer simulated seconds so the full sweep stays in
+// benchmark-friendly wall time; each point's config is recorded in the
+// JSON and pinned by the golden.
+const std::vector<SweepPoint> kFullSweep = {{10, 20}, {50, 12}, {200, 8}, {1000, 2}};
+const std::vector<SweepPoint> kSmallSweep = {{10, 6}, {50, 4}};
+
+constexpr std::uint64_t kScenarioSeed = 42;
+
+struct RunResult {
+  std::string mode;
+  std::size_t devices = 0;
+  std::int64_t sim_seconds = 0;
+  double wall_seconds = 0.0;
+  double measured_wall_seconds = 0.0;  // post-warmup phase only
+  // Deterministic counters (identical across modes and machines).
+  std::uint64_t events_total = 0;
+  std::uint64_t packets_total = 0;
+  // Machine-dependent throughput over the measured phase.
+  double events_per_sec = 0.0;
+  double packets_per_sec = 0.0;
+  // Pool behaviour.
+  std::uint64_t pool_allocated_packets = 0;
+  std::uint64_t pool_steady_state_allocs = 0;  // fresh slots after warmup
+  std::uint64_t pool_reuses = 0;
+  std::uint64_t pool_outstanding_high_water = 0;
+  // Scheduler behaviour.
+  std::uint64_t calendar_rollovers = 0;
+  std::size_t calendar_bucket_high_water = 0;
+  std::size_t queue_high_water = 0;
+  std::uint64_t ids_windows = 0;
+  long peak_rss_kb = 0;  // process-wide high water at sample time
+};
+
+long peak_rss_kb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+// The scenario behind every sweep point: detection-style star topology,
+// full benign mix, and a repeating SYN/UDP/ACK attack cycle that starts
+// early so the warmup half of the run reaches steady-state attack load.
+core::Scenario make_scale_scenario(const SweepPoint& point) {
+  core::Scenario s = core::detection_scenario(kScenarioSeed);
+  s.device_count = point.devices;
+  s.duration = util::SimTime::seconds(point.sim_seconds);
+  s.infection_start = util::SimTime::millis(200);
+  // A denser benign mix than the canonical scenario so aggregate load
+  // scales with the fleet, plus a hot spoofed flood cycle from early on —
+  // the regime the scheduler/pool overhaul targets.
+  s.benign.http_session_rate = 2.0;
+  s.benign.video_session_rate = 0.3;
+  s.benign.ftp_session_rate = 0.2;
+  s.attacks.clear();
+  core::schedule_attack_cycle(s, util::SimTime::millis(800), s.duration,
+                              /*burst=*/util::SimTime::millis(900),
+                              /*gap=*/util::SimTime::millis(300),
+                              {botnet::AttackType::kSynFlood, botnet::AttackType::kUdpFlood,
+                               botnet::AttackType::kAckFlood},
+                              /*pps_per_bot=*/2500.0);
+  for (core::AttackBurst& burst : s.attacks) burst.spoof_sources = true;
+  // Long-delay links keep many packets in flight, so the pending-event
+  // population grows with load instead of draining instantly.
+  s.topology.access_link.delay = util::SimTime::millis(30);
+  s.topology.access_link.queue_bytes = 512 * 1024;
+  s.topology.uplink.rate_bps = 400e6;
+  s.topology.uplink.delay = util::SimTime::millis(10);
+  s.topology.uplink.queue_bytes = 4 * 1024 * 1024;
+  s.churn.events_per_device_per_second = 0.0;  // churn off: pure load sweep
+  return s;
+}
+
+// In-flight ceiling the tuned pool is pre-sized to; runs report
+// pool_outstanding_high_water so a sweep that outgrows it is visible.
+constexpr std::size_t kPoolReservePackets = 32 * 1024;
+
+RunResult run_point(const SweepPoint& point, const std::string& mode,
+                    const ml::Classifier& model) {
+  const bool legacy = mode == "legacy";
+  net::Simulator::set_default_scheduler(legacy ? net::SchedulerKind::kBinaryHeap
+                                               : net::SchedulerKind::kCalendar);
+  features::set_reference_window_counters(legacy);
+  net::Node::set_route_cache_enabled(!legacy);
+  apps::App::set_eager_prune_compat(legacy);
+  core::Testbed tb{make_scale_scenario(point)};
+  tb.deploy();
+  net::Simulator& sim = tb.network().simulator();
+  sim.set_alloc_compat(legacy);
+  sim.packet_pool().set_bypass(legacy);
+  if (!legacy) sim.packet_pool().reserve(kPoolReservePackets);
+  ids::RealTimeIds& ids = tb.deploy_ids(model);
+
+  const util::SimTime warmup = tb.scenario().duration / 2;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  tb.run_until(warmup);
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t warm_events = sim.events_executed();
+  const std::uint64_t warm_packets = tb.tap().packets_captured();
+  const std::uint64_t warm_pool_allocs = sim.packet_pool().stats().allocated_packets;
+  tb.run();
+  const auto t2 = std::chrono::steady_clock::now();
+
+  net::Simulator::set_default_scheduler(net::SchedulerKind::kCalendar);
+  features::set_reference_window_counters(false);
+  net::Node::set_route_cache_enabled(true);
+  apps::App::set_eager_prune_compat(false);
+
+  RunResult r;
+  r.mode = mode;
+  r.devices = point.devices;
+  r.sim_seconds = point.sim_seconds;
+  r.wall_seconds = std::chrono::duration<double>(t2 - t0).count();
+  r.measured_wall_seconds = std::chrono::duration<double>(t2 - t1).count();
+  r.events_total = sim.events_executed();
+  r.packets_total = tb.tap().packets_captured();
+  const double measured = r.measured_wall_seconds > 0 ? r.measured_wall_seconds : 1e-9;
+  r.events_per_sec = static_cast<double>(r.events_total - warm_events) / measured;
+  r.packets_per_sec = static_cast<double>(r.packets_total - warm_packets) / measured;
+  const auto& pool = sim.packet_pool().stats();
+  r.pool_allocated_packets = pool.allocated_packets;
+  r.pool_steady_state_allocs = pool.allocated_packets - warm_pool_allocs;
+  r.pool_reuses = pool.reuses;
+  r.pool_outstanding_high_water = pool.outstanding_high_water;
+  r.calendar_rollovers = sim.calendar_rollovers();
+  r.calendar_bucket_high_water = sim.calendar_bucket_high_water();
+  r.queue_high_water = sim.queue_high_water();
+  r.ids_windows = ids.summarize().windows;
+  r.peak_rss_kb = peak_rss_kb();
+  return r;
+}
+
+// Trains the detector the IDS serves — one short generation run, shared by
+// every sweep point. K-Means is the paper's lightweight detector; its
+// per-packet inference is a handful of distance computations, so the sweep
+// measures the event/packet pipeline rather than model arithmetic.
+std::unique_ptr<ml::Classifier> train_model() {
+  core::Scenario train = core::training_scenario(/*seed=*/1);
+  train.device_count = 8;
+  train.duration = util::SimTime::seconds(20);
+  std::fprintf(stderr, "[setup] training kmeans on a %zu-device %.0f s capture...\n",
+               train.device_count, train.duration.to_seconds());
+  const core::GenerationResult gen = core::run_generation(train);
+  const features::FeatureMatrix fm = features::extract_features(gen.dataset);
+  ml::DesignMatrix x;
+  std::vector<int> y;
+  core::to_design_matrix(fm, x, y);
+  auto model = std::make_unique<ml::KMeansDetector>();
+  model->fit(x, y);
+  return model;
+}
+
+std::string json_escape_mode(const RunResult& r) { return r.mode; }
+
+void write_json(const std::string& path, const std::vector<SweepPoint>& sweep,
+                const std::vector<RunResult>& runs, bool small) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"bench\": \"bench_scale\",\n";
+  out << "  \"config\": {\n";
+  out << "    \"sweep\": \"" << (small ? "small" : "full") << "\",\n";
+  out << "    \"scenario_seed\": " << kScenarioSeed << ",\n";
+  out << "    \"warmup_fraction\": 0.5,\n";
+  out << "    \"points\": [";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    out << (i ? ", " : "") << "{\"devices\": " << sweep[i].devices
+        << ", \"sim_seconds\": " << sweep[i].sim_seconds << "}";
+  }
+  out << "],\n";
+  out << "    \"notes\": \"deterministic counters (events_total, packets_total) are "
+         "identical across modes and machines; *_per_sec and peak_rss_kb are "
+         "machine-dependent and not gated; peak_rss_kb is the process high water "
+         "at sample time\"\n";
+  out << "  },\n";
+  out << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    out << "    {\"mode\": \"" << json_escape_mode(r) << "\", \"devices\": " << r.devices
+        << ", \"sim_seconds\": " << r.sim_seconds << ",\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "     \"wall_seconds\": %.3f, \"events_per_sec\": %.0f, "
+                  "\"packets_per_sec\": %.0f,\n",
+                  r.wall_seconds, r.events_per_sec, r.packets_per_sec);
+    out << buf;
+    out << "     \"events_total\": " << r.events_total
+        << ", \"packets_total\": " << r.packets_total << ",\n";
+    out << "     \"pool_allocated_packets\": " << r.pool_allocated_packets
+        << ", \"pool_steady_state_allocs\": " << r.pool_steady_state_allocs
+        << ", \"pool_reuses\": " << r.pool_reuses
+        << ", \"pool_outstanding_high_water\": " << r.pool_outstanding_high_water << ",\n";
+    out << "     \"calendar_rollovers\": " << r.calendar_rollovers
+        << ", \"calendar_bucket_high_water\": " << r.calendar_bucket_high_water
+        << ", \"queue_high_water\": " << r.queue_high_water << ",\n";
+    out << "     \"ids_windows\": " << r.ids_windows << ", \"peak_rss_kb\": " << r.peak_rss_kb
+        << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  // Per-size legacy-vs-tuned comparison when both modes ran.
+  out << "  \"comparison\": [";
+  bool first = true;
+  for (const RunResult& tuned : runs) {
+    if (tuned.mode != "tuned") continue;
+    for (const RunResult& legacy : runs) {
+      if (legacy.mode != "legacy" || legacy.devices != tuned.devices) continue;
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n    {\"devices\": %zu, \"legacy_packets_per_sec\": %.0f, "
+                    "\"tuned_packets_per_sec\": %.0f, \"speedup\": %.2f}",
+                    first ? "" : ",", tuned.devices, legacy.packets_per_sec,
+                    tuned.packets_per_sec,
+                    legacy.packets_per_sec > 0 ? tuned.packets_per_sec / legacy.packets_per_sec
+                                               : 0.0);
+      out << buf;
+      first = false;
+    }
+  }
+  out << (first ? "" : "\n  ") << "]\n";
+  out << "}\n";
+
+  std::ofstream file{path};
+  file << out.str();
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// Golden format: one "devices events_total packets_total" line per sweep
+// point ('#' lines are comments). Counters come from tuned-mode runs but
+// are mode-independent by construction.
+int check_golden(const std::string& path, const std::vector<RunResult>& runs) {
+  std::ifstream file{path};
+  if (!file) {
+    std::fprintf(stderr, "GOLDEN FAIL: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  int failures = 0;
+  std::size_t checked = 0;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream in{line};
+    std::size_t devices = 0;
+    std::uint64_t events = 0, packets = 0;
+    if (!(in >> devices >> events >> packets)) {
+      std::fprintf(stderr, "GOLDEN FAIL: malformed line '%s'\n", line.c_str());
+      return 1;
+    }
+    bool found = false;
+    for (const RunResult& r : runs) {
+      if (r.mode != "tuned" || r.devices != devices) continue;
+      found = true;
+      ++checked;
+      if (r.events_total != events || r.packets_total != packets) {
+        std::fprintf(stderr,
+                     "GOLDEN FAIL: devices=%zu expected events=%llu packets=%llu, "
+                     "got events=%llu packets=%llu\n",
+                     devices, static_cast<unsigned long long>(events),
+                     static_cast<unsigned long long>(packets),
+                     static_cast<unsigned long long>(r.events_total),
+                     static_cast<unsigned long long>(r.packets_total));
+        ++failures;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "GOLDEN FAIL: no tuned run for devices=%zu\n", devices);
+      ++failures;
+    }
+  }
+  if (checked == 0) {
+    std::fprintf(stderr, "GOLDEN FAIL: %s contains no sweep points\n", path.c_str());
+    return 1;
+  }
+  if (failures == 0) {
+    std::printf("golden OK: %zu sweep point(s) match %s\n", checked, path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+void write_golden(const std::string& path, const std::vector<RunResult>& runs) {
+  std::ofstream file{path};
+  file << "# bench_scale deterministic counters: devices events_total packets_total\n";
+  file << "# Regenerate with: bench_scale --small --mode tuned --write-golden <this file>\n";
+  for (const RunResult& r : runs) {
+    if (r.mode != "tuned") continue;
+    file << r.devices << " " << r.events_total << " " << r.packets_total << "\n";
+  }
+  std::printf("wrote golden %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  util::Logger::instance().set_level(util::LogLevel::kWarn);
+
+  bool small = false;
+  std::string mode = "both";
+  std::string out_path = "BENCH_SCALE.json";
+  std::string golden_path;
+  std::string write_golden_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--small") {
+      small = true;
+    } else if (arg == "--mode") {
+      mode = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--golden") {
+      golden_path = next();
+    } else if (arg == "--write-golden") {
+      write_golden_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_scale [--small] [--mode both|tuned|legacy] [--out FILE] "
+                   "[--golden FILE] [--write-golden FILE]\n");
+      return 2;
+    }
+  }
+  if (mode != "both" && mode != "tuned" && mode != "legacy") {
+    std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+    return 2;
+  }
+
+  const std::vector<SweepPoint>& sweep = small ? kSmallSweep : kFullSweep;
+  const auto model = train_model();
+
+  std::vector<RunResult> runs;
+  for (const SweepPoint& point : sweep) {
+    for (const char* m : {"legacy", "tuned"}) {
+      if (mode != "both" && mode != m) continue;
+      std::printf("[run] devices=%zu sim_seconds=%lld mode=%s...\n", point.devices,
+                  static_cast<long long>(point.sim_seconds), m);
+      runs.push_back(run_point(point, m, *model));
+      const RunResult& r = runs.back();
+      std::printf(
+          "      events=%llu packets=%llu wall=%.2fs events/s=%.0f packets/s=%.0f "
+          "steady_allocs=%llu\n",
+          static_cast<unsigned long long>(r.events_total),
+          static_cast<unsigned long long>(r.packets_total), r.wall_seconds, r.events_per_sec,
+          r.packets_per_sec, static_cast<unsigned long long>(r.pool_steady_state_allocs));
+    }
+  }
+
+  // Cross-mode determinism check: both backends must execute the identical
+  // event sequence.
+  int exit_code = 0;
+  for (const RunResult& tuned : runs) {
+    if (tuned.mode != "tuned") continue;
+    for (const RunResult& legacy : runs) {
+      if (legacy.mode != "legacy" || legacy.devices != tuned.devices) continue;
+      if (legacy.events_total != tuned.events_total ||
+          legacy.packets_total != tuned.packets_total) {
+        std::fprintf(stderr,
+                     "DETERMINISM FAIL: devices=%zu legacy(events=%llu packets=%llu) != "
+                     "tuned(events=%llu packets=%llu)\n",
+                     tuned.devices, static_cast<unsigned long long>(legacy.events_total),
+                     static_cast<unsigned long long>(legacy.packets_total),
+                     static_cast<unsigned long long>(tuned.events_total),
+                     static_cast<unsigned long long>(tuned.packets_total));
+        exit_code = 1;
+      }
+    }
+    if (tuned.pool_steady_state_allocs != 0) {
+      std::fprintf(stderr,
+                   "POOL FAIL: devices=%zu tuned mode allocated %llu packet slots after "
+                   "warmup (expected 0)\n",
+                   tuned.devices,
+                   static_cast<unsigned long long>(tuned.pool_steady_state_allocs));
+      exit_code = 1;
+    }
+  }
+
+  write_json(out_path, sweep, runs, small);
+  if (!write_golden_path.empty()) write_golden(write_golden_path, runs);
+  if (!golden_path.empty() && exit_code == 0) exit_code = check_golden(golden_path, runs);
+  return exit_code;
+}

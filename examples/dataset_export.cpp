@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
   capture::FlowTable flows;
   for (const auto& r : ds.records()) flows.add(r);
   std::size_t malicious_flows = 0;
-  for (const auto& [key, flow] : flows.flows()) malicious_flows += flow.malicious;
+  flows.for_each(
+      [&](const capture::FlowKey&, const capture::FlowRecord& flow) { malicious_flows += flow.malicious; });
   std::printf("flows: %zu total, %zu tainted by attack traffic\n", flows.flow_count(),
               malicious_flows);
   std::printf("short-lived flows (<100 ms, <=2 pkts): %zu\n",

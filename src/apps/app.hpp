@@ -35,6 +35,14 @@ class App {
   /// Stops the app and cancels all pending self-scheduled events.
   void stop();
 
+  /// Process-wide switch restoring the original timer-prune policy: a full
+  /// sweep of the timer list on every schedule() once it holds 64 handles.
+  /// The production policy only sweeps after the list doubles (amortized
+  /// O(1) per schedule); bench_scale's legacy mode turns this on to
+  /// reproduce the original per-event cost profile.
+  static void set_eager_prune_compat(bool on);
+  static bool eager_prune_compat();
+
  protected:
   virtual void on_start() = 0;
   virtual void on_stop() {}
@@ -55,6 +63,7 @@ class App {
   util::Rng rng_;
   bool running_ = false;
   std::vector<net::EventHandle> timers_;
+  std::size_t prune_threshold_ = 64;
 };
 
 }  // namespace ddoshield::apps

@@ -1,13 +1,12 @@
 #include "capture/flow.hpp"
 
-#include <tuple>
+#include <algorithm>
 
 namespace ddoshield::capture {
 
 void FlowTable::add(const PacketRecord& record) {
-  auto [it, inserted] = flows_.try_emplace(FlowKey::of(record));
-  FlowRecord& flow = it->second;
-  if (inserted) flow.first_seen = record.timestamp;
+  FlowRecord& flow = flows_.find_or_insert(FlowKey::of(record));
+  if (flow.packets == 0) flow.first_seen = record.timestamp;
   flow.last_seen = record.timestamp;
   ++flow.packets;
   flow.bytes += record.wire_bytes;
@@ -19,24 +18,49 @@ void FlowTable::add(const PacketRecord& record) {
   flow.malicious = flow.malicious || record.is_malicious();
 }
 
+std::vector<std::pair<FlowKey, FlowRecord>> FlowTable::sorted_flows() const {
+  std::vector<std::pair<FlowKey, FlowRecord>> out;
+  out.reserve(flows_.size());
+  flows_.for_each([&](const FlowKey& key, const FlowRecord& flow) { out.emplace_back(key, flow); });
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 std::size_t FlowTable::short_lived_count(util::SimTime max_duration,
                                          std::uint64_t max_packets) const {
   std::size_t n = 0;
-  for (const auto& [key, flow] : flows_) {
+  flows_.for_each([&](const FlowKey&, const FlowRecord& flow) {
     if (flow.duration() <= max_duration && flow.packets <= max_packets) ++n;
-  }
+  });
   return n;
 }
 
-std::size_t FlowTable::repeated_attempt_sources(std::uint32_t min_syns) const {
-  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint16_t>, std::uint32_t> syns;
-  for (const auto& [key, flow] : flows_) {
-    if (flow.syn_count > 0) {
-      syns[{key.src_addr, key.dst_addr, key.dst_port}] += flow.syn_count;
-    }
+namespace {
+struct AttemptKey {
+  std::uint32_t src_addr = 0;
+  std::uint32_t dst_addr = 0;
+  std::uint16_t dst_port = 0;
+  friend bool operator==(const AttemptKey&, const AttemptKey&) = default;
+};
+struct AttemptKeyHash {
+  std::size_t operator()(const AttemptKey& k) const {
+    const std::uint64_t addrs = (std::uint64_t{k.src_addr} << 32) | k.dst_addr;
+    return static_cast<std::size_t>(mix_u64(addrs ^ mix_u64(k.dst_port)));
   }
+};
+}  // namespace
+
+std::size_t FlowTable::repeated_attempt_sources(std::uint32_t min_syns) const {
+  FlatTable<AttemptKey, std::uint32_t, AttemptKeyHash> syns;
+  flows_.for_each([&](const FlowKey& key, const FlowRecord& flow) {
+    if (flow.syn_count > 0) {
+      syns.find_or_insert(AttemptKey{key.src_addr, key.dst_addr, key.dst_port}) +=
+          flow.syn_count;
+    }
+  });
   std::size_t n = 0;
-  for (const auto& [agg, count] : syns) n += count >= min_syns;
+  syns.for_each([&](const AttemptKey&, const std::uint32_t& count) { n += count >= min_syns; });
   return n;
 }
 

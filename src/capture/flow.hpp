@@ -3,13 +3,16 @@
 // A flow is the directional 5-tuple. The table powers flow-level analysis:
 // short-lived-connection detection, repeated connection attempts, per-flow
 // byte/packet accounting — and gives experiments a Wireshark-
-// "conversations"-style view of a run.
+// "conversations"-style view of a run. Storage is an open-addressing
+// FlatTable, so the per-packet add() is a probe over contiguous slots
+// rather than a tree walk with a node allocation.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
+#include "capture/flat_table.hpp"
 #include "capture/packet_record.hpp"
 #include "net/packet.hpp"
 #include "util/sim_time.hpp"
@@ -27,6 +30,15 @@ struct FlowKey {
 
   static FlowKey of(const PacketRecord& r) {
     return FlowKey{r.src_addr, r.dst_addr, r.src_port, r.dst_port, r.protocol};
+  }
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    const std::uint64_t addrs = (std::uint64_t{k.src_addr} << 32) | k.dst_addr;
+    const std::uint64_t rest = (std::uint64_t{k.src_port} << 24) |
+                               (std::uint64_t{k.dst_port} << 8) | k.protocol;
+    return static_cast<std::size_t>(mix_u64(addrs ^ mix_u64(rest)));
   }
 };
 
@@ -48,7 +60,18 @@ class FlowTable {
   void add(const PacketRecord& record);
 
   std::size_t flow_count() const { return flows_.size(); }
-  const std::map<FlowKey, FlowRecord>& flows() const { return flows_; }
+
+  /// Looks up one flow; nullptr when the 5-tuple was never seen.
+  const FlowRecord* find(const FlowKey& key) const { return flows_.find(key); }
+
+  /// Visits every flow in (deterministic) table order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    flows_.for_each(std::forward<Fn>(fn));
+  }
+
+  /// All flows sorted by key — the canonical order for exports and logs.
+  std::vector<std::pair<FlowKey, FlowRecord>> sorted_flows() const;
 
   /// Flows shorter than `max_duration` with at most `max_packets` packets —
   /// the scanning / failed-handshake signature.
@@ -60,8 +83,10 @@ class FlowTable {
 
   void clear() { flows_.clear(); }
 
+  const FlatTable<FlowKey, FlowRecord, FlowKeyHash>& table() const { return flows_; }
+
  private:
-  std::map<FlowKey, FlowRecord> flows_;
+  FlatTable<FlowKey, FlowRecord, FlowKeyHash> flows_;
 };
 
 }  // namespace ddoshield::capture

@@ -1,10 +1,15 @@
 #include "features/window_stats.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <stdexcept>
 #include <tuple>
+#include <vector>
 
+#include "capture/flat_table.hpp"
+#include "capture/flow.hpp"
 #include "net/packet.hpp"
 #include "util/stats.hpp"
 
@@ -23,22 +28,122 @@ void WindowStats::fill_row(FeatureRow& row) const {
   row[kWinUdpFraction] = udp_fraction;
 }
 
-WindowStats compute_window_stats(std::span<const capture::PacketRecord> packets,
-                                 util::SimTime window_duration) {
-  if (window_duration <= util::SimTime{}) {
-    throw std::invalid_argument("compute_window_stats: window duration must be positive");
-  }
-  WindowStats stats;
-  if (packets.empty()) return stats;
+namespace {
 
-  util::FrequencyCounter dst_ports;
-  util::FrequencyCounter src_addrs;
-  util::OnlineStats seq_stats;
-  util::OnlineStats payload_stats;
+// Per-window flow tallies, as a policy so the production and reference
+// implementations share one aggregation loop.
+//
+// FlatCounters is the production path: open-addressing tables, since this
+// loop runs once per packet per window and tree-map node allocations here
+// used to dominate the feature cost. MapCounters is that original tree-map
+// implementation, kept runtime-selectable so bench_scale's legacy mode can
+// measure the seed's per-packet cost profile on the same binary.
+struct U64Hash {
+  std::size_t operator()(std::uint64_t v) const {
+    return static_cast<std::size_t>(capture::mix_u64(v));
+  }
+};
+
+// Flat-table drop-in for util::FrequencyCounter on the per-packet path.
+// entropy() sums in ascending key order — the same order std::map iterates —
+// so the two counter policies produce bit-identical feature values despite
+// the hash table's unordered slots.
+class FlatFrequencyCounter {
+ public:
+  void add(std::uint64_t key, std::uint64_t weight = 1) {
+    counts_.find_or_insert(key) += weight;
+    total_ += weight;
+  }
+
+  double entropy() const {
+    if (total_ == 0 || counts_.size() <= 1) return 0.0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted;
+    sorted.reserve(counts_.size());
+    counts_.for_each([&](const std::uint64_t& key, const std::uint64_t& c) {
+      sorted.emplace_back(key, c);
+    });
+    std::sort(sorted.begin(), sorted.end());
+    double h = 0.0;
+    const double n = static_cast<double>(total_);
+    for (const auto& [key, c] : sorted) {
+      if (c == 0) continue;
+      const double p = static_cast<double>(c) / n;
+      h -= p * std::log2(p);
+    }
+    return h;
+  }
+
+ private:
+  capture::FlatTable<std::uint64_t, std::uint64_t, U64Hash> counts_;
+  std::uint64_t total_ = 0;
+};
+
+struct FlatCounters {
+  capture::FlatTable<capture::FlowKey, std::uint32_t, capture::FlowKeyHash> flow_packets;
+  capture::FlatTable<std::uint64_t, std::uint32_t, U64Hash> syn_per_src_dport;
+  FlatFrequencyCounter dst_ports;
+  FlatFrequencyCounter src_addrs;
+
+  explicit FlatCounters(std::size_t packet_hint) : flow_packets(packet_hint / 4) {}
+
+  void count_flow_packet(const capture::PacketRecord& r) {
+    ++flow_packets.find_or_insert(capture::FlowKey::of(r));
+  }
+  void count_syn(const capture::PacketRecord& r) {
+    ++syn_per_src_dport.find_or_insert((std::uint64_t{r.src_addr} << 16) | r.dst_port);
+  }
+  std::uint64_t short_lived_flows() const {
+    std::uint64_t n = 0;
+    flow_packets.for_each(
+        [&](const capture::FlowKey&, const std::uint32_t& count) { n += count <= 2; });
+    return n;
+  }
+  std::uint64_t repeated_attempts() const {
+    std::uint64_t n = 0;
+    syn_per_src_dport.for_each(
+        [&](const std::uint64_t&, const std::uint32_t& syns) { n += syns >= 3; });
+    return n;
+  }
+};
+
+struct MapCounters {
   std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint16_t, std::uint16_t, std::uint8_t>,
            std::uint32_t>
       flow_packets;
   std::map<std::tuple<std::uint32_t, std::uint16_t>, std::uint32_t> syn_per_src_dport;
+  util::FrequencyCounter dst_ports;
+  util::FrequencyCounter src_addrs;
+
+  explicit MapCounters(std::size_t) {}
+
+  void count_flow_packet(const capture::PacketRecord& r) {
+    ++flow_packets[{r.src_addr, r.dst_addr, r.src_port, r.dst_port, r.protocol}];
+  }
+  void count_syn(const capture::PacketRecord& r) {
+    ++syn_per_src_dport[{r.src_addr, r.dst_port}];
+  }
+  std::uint64_t short_lived_flows() const {
+    std::uint64_t n = 0;
+    for (const auto& [key, count] : flow_packets) n += count <= 2;
+    return n;
+  }
+  std::uint64_t repeated_attempts() const {
+    std::uint64_t n = 0;
+    for (const auto& [key, syns] : syn_per_src_dport) n += syns >= 3;
+    return n;
+  }
+};
+
+bool g_reference_counters = false;
+
+template <typename Counters>
+WindowStats compute_with(std::span<const capture::PacketRecord> packets,
+                         util::SimTime window_duration) {
+  WindowStats stats;
+
+  util::OnlineStats seq_stats;
+  util::OnlineStats payload_stats;
+  Counters counters{packets.size()};
 
   std::uint64_t total_bytes = 0;
   std::uint64_t tcp_packets = 0;
@@ -47,10 +152,10 @@ WindowStats compute_window_stats(std::span<const capture::PacketRecord> packets,
 
   for (const auto& r : packets) {
     total_bytes += r.wire_bytes;
-    dst_ports.add(r.dst_port);
-    src_addrs.add(r.src_addr);
+    counters.dst_ports.add(r.dst_port);
+    counters.src_addrs.add(r.src_addr);
     payload_stats.add(static_cast<double>(r.payload_bytes));
-    ++flow_packets[{r.src_addr, r.dst_addr, r.src_port, r.dst_port, r.protocol}];
+    counters.count_flow_packet(r);
 
     if (r.is_tcp()) {
       ++tcp_packets;
@@ -59,7 +164,7 @@ WindowStats compute_window_stats(std::span<const capture::PacketRecord> packets,
       const bool ack = r.has_flag(net::TcpFlags::kAck);
       if (syn && !ack) {
         ++syn_no_ack;
-        ++syn_per_src_dport[{r.src_addr, r.dst_port}];
+        counters.count_syn(r);
       }
     } else if (r.is_udp()) {
       ++udp_packets;
@@ -68,25 +173,34 @@ WindowStats compute_window_stats(std::span<const capture::PacketRecord> packets,
 
   stats.packet_count = packets.size();
   stats.byte_rate = static_cast<double>(total_bytes) / window_duration.to_seconds();
-  stats.dst_port_entropy = dst_ports.entropy();
-  stats.src_addr_entropy = src_addrs.entropy();
+  stats.dst_port_entropy = counters.dst_ports.entropy();
+  stats.src_addr_entropy = counters.src_addrs.entropy();
   stats.syn_no_ack_ratio =
       tcp_packets == 0 ? 0.0 : static_cast<double>(syn_no_ack) / static_cast<double>(tcp_packets);
-
-  std::uint64_t short_lived = 0;
-  for (const auto& [key, count] : flow_packets) short_lived += count <= 2;
-  stats.short_lived_flows = static_cast<double>(short_lived);
-
-  std::uint64_t repeated = 0;
-  for (const auto& [key, syns] : syn_per_src_dport) repeated += syns >= 3;
-  stats.repeated_attempts = static_cast<double>(repeated);
-
+  stats.short_lived_flows = static_cast<double>(counters.short_lived_flows());
+  stats.repeated_attempts = static_cast<double>(counters.repeated_attempts());
   stats.seq_variance_log = std::log10(1.0 + seq_stats.variance());
   stats.mean_payload = payload_stats.mean();
   stats.udp_fraction = packets.empty()
                            ? 0.0
                            : static_cast<double>(udp_packets) / static_cast<double>(packets.size());
   return stats;
+}
+
+}  // namespace
+
+void set_reference_window_counters(bool on) { g_reference_counters = on; }
+bool reference_window_counters() { return g_reference_counters; }
+
+WindowStats compute_window_stats(std::span<const capture::PacketRecord> packets,
+                                 util::SimTime window_duration) {
+  if (window_duration <= util::SimTime{}) {
+    throw std::invalid_argument("compute_window_stats: window duration must be positive");
+  }
+  WindowStats stats;
+  if (packets.empty()) return stats;
+  return g_reference_counters ? compute_with<MapCounters>(packets, window_duration)
+                              : compute_with<FlatCounters>(packets, window_duration);
 }
 
 void fill_basic_features(const capture::PacketRecord& record, FeatureRow& row) {

@@ -122,15 +122,21 @@ bool Link::transmit(const Node& from, Packet pkt) {
 
   Node* peer = ends_[1 - index_of(from)];
   Direction* sender_dir = &dir;
-  sim_.schedule_at(arrival, [peer, sender_dir, pkt = std::move(pkt), this]() mutable {
+  // The packet rides out its flight in a pool slot; the delivery closure
+  // (four pointers — inline in the event node) owns the slot and releases
+  // it on both outcomes. Steady state this path never touches the heap.
+  Packet* slot = sim_.packet_pool().acquire();
+  *slot = std::move(pkt);
+  sim_.post_at(arrival, [peer, sender_dir, slot, this] {
     if (up_) {
       ++sender_dir->stats.delivered_packets;
-      peer->deliver(std::move(pkt));
+      peer->deliver(std::move(*slot));
     } else {
       // The link went down while the packet was propagating: account the
       // loss so per-link conservation (tx = delivered + lost) still holds.
       ++sender_dir->stats.lost_in_flight_packets;
     }
+    sim_.packet_pool().release(slot);
   });
   return true;
 }

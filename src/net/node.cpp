@@ -8,6 +8,20 @@
 
 namespace ddoshield::net {
 
+namespace {
+bool g_route_cache_enabled = true;
+
+// Fibonacci multiplicative hash: star-topology addresses are dense
+// (10.0.x.y), so low-bit masking alone would collide whole subnets into a
+// handful of slots.
+std::size_t route_cache_slot(std::uint32_t bits) {
+  return static_cast<std::size_t>((bits * 0x9e3779b1u) >> 24);
+}
+}  // namespace
+
+void Node::set_route_cache_enabled(bool on) { g_route_cache_enabled = on; }
+bool Node::route_cache_enabled() { return g_route_cache_enabled; }
+
 Node::Node(Simulator& sim, std::string name, Ipv4Address addr)
     : sim_{sim}, name_{std::move(name)}, addr_{addr} {
   port_rng_state_ ^= addr.bits() * 2654435761u;  // per-node port sequence
@@ -28,6 +42,7 @@ void Node::add_route(Ipv4Address prefix, int prefix_len, std::size_t ifindex) {
     throw std::out_of_range("Node::add_route: no such interface");
   }
   routes_.push_back(RouteEntry{prefix, prefix_len, ifindex});
+  invalidate_route_cache();
 }
 
 void Node::set_default_route(std::size_t ifindex) {
@@ -35,9 +50,12 @@ void Node::set_default_route(std::size_t ifindex) {
     throw std::out_of_range("Node::set_default_route: no such interface");
   }
   default_route_ = static_cast<int>(ifindex);
+  invalidate_route_cache();
 }
 
-int Node::route_lookup(Ipv4Address dst) const {
+void Node::invalidate_route_cache() { route_cache_.reset(); }
+
+int Node::route_lookup_scan(Ipv4Address dst) const {
   int best = -1;
   int best_len = -1;
   for (const auto& r : routes_) {
@@ -48,6 +66,22 @@ int Node::route_lookup(Ipv4Address dst) const {
   }
   if (best >= 0) return best;
   return default_route_;
+}
+
+int Node::route_lookup(Ipv4Address dst) const {
+  if (!g_route_cache_enabled || routes_.size() < kRouteCacheMinRoutes) {
+    return route_lookup_scan(dst);
+  }
+  if (!route_cache_) {
+    route_cache_ = std::make_unique<RouteCacheEntry[]>(kRouteCacheSlots);
+  }
+  const std::uint64_t tag = std::uint64_t{dst.bits()} + 1;
+  RouteCacheEntry& entry = route_cache_[route_cache_slot(dst.bits())];
+  if (entry.tag != tag) {
+    entry.tag = tag;
+    entry.ifindex = route_lookup_scan(dst);
+  }
+  return entry.ifindex;
 }
 
 std::uint16_t Node::allocate_ephemeral_port() {

@@ -63,6 +63,15 @@ class Node {
   /// Longest-prefix-match; returns -1 if no route exists.
   int route_lookup(Ipv4Address dst) const;
 
+  /// Process-wide switch for the per-node exact-match route cache. The
+  /// router's table holds one /32 per device, so the longest-prefix scan is
+  /// O(devices) per forwarded packet; the cache memoises dst -> ifindex in a
+  /// direct-mapped array with identical lookup results. Default on;
+  /// bench_scale's legacy mode turns it off to reproduce the original
+  /// per-packet scan cost.
+  static void set_route_cache_enabled(bool on);
+  static bool route_cache_enabled();
+
   // --- datapath -----------------------------------------------------------
   /// Sends a packet originated at this node. Stamps uid/timestamp; the
   /// source address defaults to this node's address when unspecified,
@@ -90,6 +99,19 @@ class Node {
     std::size_t ifindex;
   };
 
+  struct RouteCacheEntry {
+    std::uint64_t tag = 0;  // dst address bits + 1; 0 marks an empty slot
+    int ifindex = -1;
+  };
+  static constexpr std::size_t kRouteCacheSlots = 256;
+  /// Routing tables smaller than this skip the cache entirely: leaf nodes
+  /// hold one or two routes, and for them the scan is already cheaper than
+  /// a cache probe plus 4 KiB of cold cache lines per node.
+  static constexpr std::size_t kRouteCacheMinRoutes = 8;
+
+  int route_lookup_scan(Ipv4Address dst) const;
+  void invalidate_route_cache();
+
   void run_taps(const Packet& pkt, TapDirection dir);
 
   Simulator& sim_;
@@ -97,6 +119,7 @@ class Node {
   Ipv4Address addr_;
   std::vector<Link*> links_;
   std::vector<RouteEntry> routes_;
+  mutable std::unique_ptr<RouteCacheEntry[]> route_cache_;  // lazily built
   int default_route_ = -1;
   bool forwarding_ = false;
   std::uint32_t port_rng_state_ = 0x6b8b4567;

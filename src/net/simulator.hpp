@@ -5,23 +5,46 @@
 // insertion-order) order, so simultaneous events run FIFO and runs are
 // deterministic. Events can be cancelled through the returned handle —
 // used heavily by TCP retransmission timers and churn schedules.
+//
+// Two interchangeable queue backends sit behind the same API:
+//
+//   * kCalendar (default) — a calendar queue: a wheel of "day" buckets,
+//     each a small binary heap, covering a sliding window of simulated
+//     time, with a spillover heap for events beyond the window. Near-term
+//     events (link deliveries, app ticks — the bulk of the load) pay
+//     O(log bucket_size) with bucket_size a few dozen, instead of
+//     O(log total_pending) against hundreds of thousands of pending
+//     events under flood.
+//   * kBinaryHeap — the original single std::priority_queue, kept so the
+//     testkit can replay one seed on both backends and assert
+//     byte-identical event logs (both pop in exact (when, seq) order, so
+//     execution is provably identical; the test pins it anyway).
+//
+// Event closures are stored in SmallFn inline buffers and hot-path
+// callers use post()/post_at() (no cancellation token), so steady-state
+// scheduling performs zero heap allocations; the owned PacketPool does
+// the same for packets in flight (see packet_pool.hpp).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
 
+#include "net/packet_pool.hpp"
 #include "util/sim_time.hpp"
+#include "util/small_fn.hpp"
 
 namespace ddoshield::obs {
 class Counter;
+class Gauge;
 }
 
 namespace ddoshield::net {
 
 class Simulator;
+
+enum class SchedulerKind { kCalendar, kBinaryHeap };
 
 /// Cancellation handle for a scheduled event. Copyable; cancelling twice
 /// or cancelling after the event ran is a harmless no-op.
@@ -40,18 +63,33 @@ class EventHandle {
 
 class Simulator {
  public:
-  Simulator();
+  /// Event closures up to this capture size run allocation-free.
+  using Callback = util::SmallFn<void(), 64>;
+
+  explicit Simulator(SchedulerKind kind = default_scheduler());
   ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  /// Process-wide default backend for simulators constructed without an
+  /// explicit kind (Network, Testbed). The testkit's scheduler-equivalence
+  /// test flips this around whole pipeline runs.
+  static SchedulerKind default_scheduler();
+  static void set_default_scheduler(SchedulerKind kind);
+  SchedulerKind scheduler_kind() const { return kind_; }
+
   util::SimTime now() const { return now_; }
 
   /// Schedules fn to run `delay` after the current time. delay must be >= 0.
-  EventHandle schedule(util::SimTime delay, std::function<void()> fn);
+  EventHandle schedule(util::SimTime delay, Callback fn);
 
   /// Schedules fn at an absolute simulated time >= now().
-  EventHandle schedule_at(util::SimTime when, std::function<void()> fn);
+  EventHandle schedule_at(util::SimTime when, Callback fn);
+
+  /// Fire-and-forget variants: no cancellation handle, so no token
+  /// allocation. The packet hot path (link deliveries) uses these.
+  void post(util::SimTime delay, Callback fn);
+  void post_at(util::SimTime when, Callback fn);
 
   /// Runs events until the queue drains or the clock passes `until`.
   /// Events stamped exactly at `until` do run. Advances the clock to
@@ -62,13 +100,14 @@ class Simulator {
   /// Runs until the event queue is fully drained.
   void run_all();
 
-  /// Drops every pending event (used by teardown in tests).
+  /// Drops every pending event (used by teardown in tests). Pool slots
+  /// owned by dropped closures are reclaimed when the pool is destroyed.
   void clear();
 
   std::uint64_t events_executed() const { return events_executed_; }
-  std::size_t events_pending() const { return queue_.size(); }
+  std::size_t events_pending() const { return pending_; }
   /// Alias of events_pending(), the name the obs sampler probes use.
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const { return pending_; }
   /// Deepest the event queue has ever been on this simulator.
   std::size_t queue_high_water() const { return queue_high_water_; }
 
@@ -79,15 +118,36 @@ class Simulator {
   /// invariant checker asserts this stays zero.
   std::uint64_t time_regressions() const { return time_regressions_; }
 
+  // --- calendar-queue introspection ---------------------------------------
+  /// Wheel fast-forwards: the cursor jumped because every bucket drained.
+  std::uint64_t calendar_rollovers() const { return calendar_.rollovers; }
+  /// Events promoted from the spillover heap into wheel buckets.
+  std::uint64_t calendar_migrations() const { return calendar_.migrations; }
+  /// Deepest any single bucket has been.
+  std::size_t calendar_bucket_high_water() const { return calendar_.bucket_high_water; }
+  /// Events currently in the spillover heap (beyond the wheel's window).
+  std::size_t calendar_overflow_pending() const { return calendar_.overflow.size(); }
+
+  /// Restores the seed implementation's per-event allocation profile:
+  /// every insert boxes its closure on the heap (the std::function
+  /// behaviour) and allocates a cancellation token even for post()ed
+  /// events. Execution order is unchanged — this is the "legacy" cost
+  /// model bench_scale's before/after comparison measures against.
+  void set_alloc_compat(bool on) { alloc_compat_ = on; }
+  bool alloc_compat() const { return alloc_compat_; }
+
   /// Hands out process-unique packet uids.
   std::uint64_t next_packet_uid() { return ++packet_uid_; }
+
+  /// Free-list pool for packets in flight on this simulator's links.
+  PacketPool& packet_pool() { return packet_pool_; }
 
  private:
   struct Event {
     util::SimTime when;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint64_t seq = 0;
+    Callback fn;
+    std::shared_ptr<bool> cancelled;  // null for post()/post_at() events
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
@@ -95,18 +155,59 @@ class Simulator {
       return a.seq > b.seq;                          // FIFO among equals
     }
   };
+  // Event heaps are plain vectors driven by std::push_heap/std::pop_heap:
+  // std::priority_queue cannot release ownership of its top element, which
+  // would force a copy per pop — untenable with move-only SmallFn closures.
+  using EventHeap = std::vector<Event>;
 
+  // Calendar geometry: 4096 one-millisecond days cover a ~4.1 s window —
+  // wide enough that link serialization, app ticks, and first-shot RTO
+  // timers all land on the wheel; only long retransmission backoffs and
+  // scenario-scale timers spill over. Ordering is exact regardless of
+  // geometry (every pop takes the global (when, seq) minimum), so these
+  // constants are pure tuning.
+  static constexpr std::int64_t kDayNs = 1'000'000;  // 1 ms per bucket
+  static constexpr std::size_t kBuckets = 4096;      // power of two
+
+  struct CalendarState {
+    std::vector<EventHeap> buckets;  // each kept as a binary heap
+    EventHeap overflow;              // also a heap: events beyond the window
+    std::int64_t base_day = 0;  // wheel covers days [base_day, base_day + kBuckets)
+    std::int64_t hint_day = 0;  // first possibly non-empty day (>= base_day)
+    std::size_t buffered = 0;   // events currently in buckets
+    std::uint64_t rollovers = 0;
+    std::uint64_t migrations = 0;
+    std::size_t bucket_high_water = 0;
+  };
+
+  static std::int64_t day_of(util::SimTime t) { return t.ns() / kDayNs; }
+
+  static void heap_push(EventHeap& heap, Event ev);
+  static Event heap_pop(EventHeap& heap);
+
+  void insert(Event ev);
+  void insert_calendar(Event ev);
+  /// Promotes spillover events now inside the wheel window into buckets.
+  void migrate_overflow();
+  /// Minimum pending event's timestamp; pending_ must be non-zero.
+  util::SimTime next_when();
   void execute_next();
   void flush_stats();
 
+  SchedulerKind kind_;
+  bool alloc_compat_ = false;
   util::SimTime now_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  EventHeap heap_;  // kBinaryHeap backend
+  CalendarState calendar_;
+  std::size_t pending_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   std::uint64_t events_cancelled_ = 0;
   std::uint64_t packet_uid_ = 0;
   std::size_t queue_high_water_ = 0;
   std::uint64_t time_regressions_ = 0;
+
+  PacketPool packet_pool_;
 
   // The per-event hot path touches only the plain tallies above (next_seq_
   // doubles as the scheduled count); deltas are published to the shared
@@ -115,9 +216,14 @@ class Simulator {
   std::uint64_t flushed_scheduled_ = 0;
   std::uint64_t flushed_executed_ = 0;
   std::uint64_t flushed_cancelled_ = 0;
+  std::uint64_t flushed_rollovers_ = 0;
+  std::uint64_t flushed_migrations_ = 0;
   obs::Counter* m_scheduled_;
   obs::Counter* m_executed_;
   obs::Counter* m_cancelled_;
+  obs::Counter* m_rollovers_;
+  obs::Counter* m_migrations_;
+  obs::Gauge* m_bucket_occupancy_;
 };
 
 }  // namespace ddoshield::net

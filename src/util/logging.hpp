@@ -51,7 +51,7 @@ template <typename... Args>
 std::string format_braces(std::string_view fmt, const Args&... args) {
   std::ostringstream os;
   std::size_t pos = 0;
-  auto emit_one = [&](const auto& arg) {
+  [[maybe_unused]] auto emit_one = [&](const auto& arg) {
     while (true) {
       const std::size_t brace = fmt.find("{}", pos);
       if (brace == std::string_view::npos) {

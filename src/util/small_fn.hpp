@@ -1,0 +1,128 @@
+// Move-only callable with inline small-object storage.
+//
+// The event scheduler stores one callable per pending event; with
+// std::function every capture larger than the library's tiny SBO buffer
+// costs a heap allocation per scheduled event — at flood rates that is a
+// malloc/free pair per packet. SmallFn keeps any callable up to `Capacity`
+// bytes inline in the event node itself (falling back to the heap for
+// oversized captures), so the steady-state hot path schedules without
+// touching the allocator. Capacity is a tuning knob, not a hard limit.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ddoshield::util {
+
+template <typename Signature, std::size_t Capacity = 48>
+class SmallFn;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class SmallFn<R(Args...), Capacity> {
+ public:
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallFn> &&
+                                        std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vt_ = &vtable_inline<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      vt_ = &vtable_heap<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept {
+    if (other.vt_) {
+      other.vt_->relocate(other.storage_, storage_);
+      vt_ = other.vt_;
+      other.vt_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      if (other.vt_) {
+        other.vt_->relocate(other.storage_, storage_);
+        vt_ = other.vt_;
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void reset() {
+    if (vt_) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  /// True when the held callable lives in the inline buffer (no heap).
+  bool is_inline() const { return vt_ && vt_->inline_stored; }
+
+  R operator()(Args... args) const {
+    return vt_->invoke(const_cast<unsigned char*>(storage_), std::forward<Args>(args)...);
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    // Move-constructs into dst and destroys src (trivial pointer copy for
+    // heap-held callables).
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void*);
+    bool inline_stored;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= Capacity && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr VTable vtable_inline{
+      [](void* s, Args&&... args) -> R {
+        return (*static_cast<Fn*>(s))(std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* s) { static_cast<Fn*>(s)->~Fn(); },
+      /*inline_stored=*/true,
+  };
+
+  template <typename Fn>
+  static constexpr VTable vtable_heap{
+      [](void* s, Args&&... args) -> R {
+        return (**static_cast<Fn**>(s))(std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) {
+        *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+      },
+      [](void* s) { delete *static_cast<Fn**>(s); },
+      /*inline_stored=*/false,
+  };
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity < sizeof(void*) ? sizeof(void*)
+                                                                            : Capacity];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace ddoshield::util

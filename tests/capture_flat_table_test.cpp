@@ -1,0 +1,213 @@
+// Tests for the open-addressing FlatTable behind the capture/feature hot
+// path: collision chains under a degenerate hash, tombstone reuse, and
+// rehashes preserving per-flow state across a window boundary.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "capture/flat_table.hpp"
+#include "capture/flow.hpp"
+
+namespace ddoshield::capture {
+namespace {
+
+// Degenerate hash: every key lands on the same home slot, so every probe
+// walks one linear collision chain.
+struct CollidingHash {
+  std::size_t operator()(int) const { return 0; }
+};
+
+TEST(FlatTableTest, InsertFindEraseRoundTrip) {
+  FlatTable<int, std::string> table;
+  table.find_or_insert(1) = "one";
+  table.find_or_insert(2) = "two";
+  table.find_or_insert(3) = "three";
+  EXPECT_EQ(table.size(), 3u);
+
+  ASSERT_NE(table.find(2), nullptr);
+  EXPECT_EQ(*table.find(2), "two");
+  EXPECT_EQ(table.find(99), nullptr);
+
+  EXPECT_TRUE(table.erase(2));
+  EXPECT_FALSE(table.erase(2));
+  EXPECT_EQ(table.find(2), nullptr);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.tombstones(), 1u);
+}
+
+TEST(FlatTableTest, FindOrInsertReturnsSameSlotOnRepeat) {
+  FlatTable<int, int> table;
+  int& v = table.find_or_insert(7);
+  v = 41;
+  ++table.find_or_insert(7);
+  EXPECT_EQ(*table.find(7), 42);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlatTableTest, CollisionChainsResolveByLinearProbing) {
+  FlatTable<int, int, CollidingHash> table(64);
+  for (int k = 0; k < 16; ++k) table.find_or_insert(k) = k * 10;
+  EXPECT_EQ(table.size(), 16u);
+  for (int k = 0; k < 16; ++k) {
+    ASSERT_NE(table.find(k), nullptr) << "key " << k;
+    EXPECT_EQ(*table.find(k), k * 10);
+  }
+  EXPECT_EQ(table.find(16), nullptr);
+  // All 16 keys share one home slot, so the chain must have been probed.
+  EXPECT_GE(table.stats().max_probe_length, 15u);
+}
+
+TEST(FlatTableTest, EraseInMiddleOfChainKeepsTailReachable) {
+  FlatTable<int, int, CollidingHash> table(64);
+  for (int k = 0; k < 8; ++k) table.find_or_insert(k) = k;
+  // Tombstone the middle of the chain; keys probed past it must stay
+  // findable (lookups skip tombstones instead of stopping).
+  EXPECT_TRUE(table.erase(3));
+  for (int k = 0; k < 8; ++k) {
+    if (k == 3) {
+      EXPECT_EQ(table.find(k), nullptr);
+    } else {
+      ASSERT_NE(table.find(k), nullptr) << "key " << k;
+    }
+  }
+}
+
+TEST(FlatTableTest, InsertReusesFirstTombstoneInChain) {
+  FlatTable<int, int, CollidingHash> table(64);
+  for (int k = 0; k < 8; ++k) table.find_or_insert(k) = k;
+  table.erase(2);
+  table.erase(5);
+  EXPECT_EQ(table.tombstones(), 2u);
+
+  // A fresh key probing the same chain must land in the first tombstone.
+  table.find_or_insert(100) = 1000;
+  EXPECT_EQ(table.stats().tombstones_reclaimed, 1u);
+  EXPECT_EQ(table.tombstones(), 1u);
+  EXPECT_EQ(*table.find(100), 1000);
+
+  // And re-inserting an erased key reclaims the remaining tombstone.
+  table.find_or_insert(5) = 55;
+  EXPECT_EQ(table.stats().tombstones_reclaimed, 2u);
+  EXPECT_EQ(table.tombstones(), 0u);
+  EXPECT_EQ(*table.find(5), 55);
+}
+
+TEST(FlatTableTest, GrowthRehashPreservesEveryEntry) {
+  FlatTable<std::uint64_t, std::uint64_t> table(8);
+  const std::size_t initial_capacity = table.capacity();
+  for (std::uint64_t k = 0; k < 1000; ++k) table.find_or_insert(k) = k * k;
+  EXPECT_GT(table.capacity(), initial_capacity);
+  EXPECT_GE(table.stats().rehashes, 1u);
+  EXPECT_EQ(table.size(), 1000u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_NE(table.find(k), nullptr) << "key " << k;
+    EXPECT_EQ(*table.find(k), k * k);
+  }
+}
+
+TEST(FlatTableTest, ChurnRehashDropsTombstonesKeepsLiveEntries) {
+  // Heavy insert/erase churn in a bounded key space drives the combined
+  // live+tombstone load over the 7/8 threshold repeatedly; every rehash
+  // must compact tombstones without losing a live entry. Mirror against
+  // std::map as the oracle.
+  FlatTable<int, int> table(8);
+  std::map<int, int> oracle;
+  std::mt19937 rng{1234};
+  for (int step = 0; step < 20000; ++step) {
+    const int key = static_cast<int>(rng() % 64);
+    if (rng() % 3 == 0) {
+      EXPECT_EQ(table.erase(key), oracle.erase(key) > 0);
+    } else {
+      table.find_or_insert(key) = step;
+      oracle[key] = step;
+    }
+  }
+  EXPECT_EQ(table.size(), oracle.size());
+  for (const auto& [key, value] : oracle) {
+    ASSERT_NE(table.find(key), nullptr) << "key " << key;
+    EXPECT_EQ(*table.find(key), value);
+  }
+  table.for_each([&](const int& key, const int&) { EXPECT_EQ(oracle.count(key), 1u); });
+}
+
+TEST(FlatTableTest, RehashPreservesPerFlowStateAtWindowBoundary) {
+  // The window-boundary scenario from the feature path: flow records
+  // accumulated mid-window must survive a growth rehash bit-for-bit.
+  FlatTable<FlowKey, FlowRecord, FlowKeyHash> table(8);
+  std::vector<FlowKey> keys;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    FlowKey key{0x0a000001u + i, 0x0a0000ffu, static_cast<std::uint16_t>(40000 + i), 80, 6};
+    FlowRecord& rec = table.find_or_insert(key);
+    rec.first_seen = util::SimTime::millis(i);
+    rec.last_seen = util::SimTime::millis(i + 5);
+    rec.packets = i + 1;
+    rec.bytes = (i + 1) * 100;
+    rec.syn_count = 1;
+    rec.malicious = (i % 7) == 0;
+    keys.push_back(key);
+  }
+  EXPECT_GE(table.stats().rehashes, 1u);  // grew well past the initial 8 slots
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const FlowRecord* rec = table.find(keys[i]);
+    ASSERT_NE(rec, nullptr) << "flow " << i;
+    EXPECT_EQ(rec->first_seen, util::SimTime::millis(i));
+    EXPECT_EQ(rec->last_seen, util::SimTime::millis(i + 5));
+    EXPECT_EQ(rec->packets, i + 1u);
+    EXPECT_EQ(rec->bytes, (i + 1u) * 100u);
+    EXPECT_EQ(rec->syn_count, 1u);
+    EXPECT_EQ(rec->malicious, (i % 7) == 0);
+  }
+}
+
+TEST(FlatTableTest, ExplicitRehashAtSameCapacityCompactsTombstones) {
+  FlatTable<int, int, CollidingHash> table(64);
+  for (int k = 0; k < 16; ++k) table.find_or_insert(k) = k;
+  for (int k = 0; k < 16; k += 2) table.erase(k);
+  EXPECT_EQ(table.tombstones(), 8u);
+  table.rehash(table.capacity());
+  EXPECT_EQ(table.tombstones(), 0u);
+  EXPECT_EQ(table.size(), 8u);
+  for (int k = 1; k < 16; k += 2) {
+    ASSERT_NE(table.find(k), nullptr);
+    EXPECT_EQ(*table.find(k), k);
+  }
+}
+
+TEST(FlatTableTest, ClearEmptiesEverything) {
+  FlatTable<int, int> table;
+  for (int k = 0; k < 20; ++k) table.find_or_insert(k) = k;
+  table.erase(3);
+  table.clear();
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.tombstones(), 0u);
+  EXPECT_EQ(table.find(5), nullptr);
+  std::size_t visited = 0;
+  table.for_each([&](const int&, const int&) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST(FlatTableTest, ForEachVisitsEachLiveEntryOnce) {
+  FlatTable<int, int> table;
+  for (int k = 0; k < 50; ++k) table.find_or_insert(k) = k;
+  for (int k = 0; k < 50; k += 5) table.erase(k);
+  std::set<int> seen;
+  table.for_each([&](const int& key, const int& value) {
+    EXPECT_EQ(key, value);
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate visit of " << key;
+  });
+  EXPECT_EQ(seen.size(), table.size());
+}
+
+TEST(MixU64Test, DistinctInputsGiveDistinctHashes) {
+  std::set<std::uint64_t> hashes;
+  for (std::uint64_t i = 0; i < 1000; ++i) hashes.insert(mix_u64(i));
+  EXPECT_EQ(hashes.size(), 1000u);  // sequential inputs must not collide
+}
+
+}  // namespace
+}  // namespace ddoshield::capture

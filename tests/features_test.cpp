@@ -175,6 +175,47 @@ TEST(WindowStatsTest, ShortLivedFlowsCountsSmallFlows) {
   EXPECT_DOUBLE_EQ(stats.short_lived_flows, 3.0);
 }
 
+TEST(WindowStatsTest, ReferenceCountersMatchFlatCountersBitForBit) {
+  // A mixed window exercising every counter: repeated flows, one-packet
+  // flows, bare SYNs (some past the repeated-attempts threshold), UDP with
+  // spread and concentrated ports, several source addresses.
+  std::vector<PacketRecord> packets;
+  util::Rng rng{99};
+  for (int i = 0; i < 400; ++i) {
+    const auto src = static_cast<std::uint32_t>(rng.uniform_int(1, 40));
+    const auto sport = static_cast<std::uint16_t>(rng.uniform_int(1024, 1024 + 30));
+    if (i % 3 == 0) {
+      packets.push_back(udp_packet(i, static_cast<std::uint16_t>(rng.uniform_int(9000, 9040)),
+                                   static_cast<std::uint32_t>(rng.uniform_int(0, 500))));
+    } else {
+      const std::uint8_t flags =
+          i % 5 == 0 ? net::TcpFlags::kSyn : static_cast<std::uint8_t>(net::TcpFlags::kAck);
+      packets.push_back(tcp_packet(i, src, sport, 80, flags,
+                                   static_cast<std::uint32_t>(rng.uniform_int(0, 900)),
+                                   static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 30))));
+    }
+  }
+
+  ASSERT_FALSE(reference_window_counters());
+  const WindowStats flat = compute_window_stats(packets, SimTime::seconds(1));
+  set_reference_window_counters(true);
+  const WindowStats reference = compute_window_stats(packets, SimTime::seconds(1));
+  set_reference_window_counters(false);
+
+  // The flat counters sort before summing entropy precisely so the two
+  // implementations agree bit for bit, not just within a tolerance.
+  EXPECT_EQ(reference.packet_count, flat.packet_count);
+  EXPECT_EQ(reference.byte_rate, flat.byte_rate);
+  EXPECT_EQ(reference.dst_port_entropy, flat.dst_port_entropy);
+  EXPECT_EQ(reference.src_addr_entropy, flat.src_addr_entropy);
+  EXPECT_EQ(reference.syn_no_ack_ratio, flat.syn_no_ack_ratio);
+  EXPECT_EQ(reference.short_lived_flows, flat.short_lived_flows);
+  EXPECT_EQ(reference.repeated_attempts, flat.repeated_attempts);
+  EXPECT_EQ(reference.seq_variance_log, flat.seq_variance_log);
+  EXPECT_EQ(reference.mean_payload, flat.mean_payload);
+  EXPECT_EQ(reference.udp_fraction, flat.udp_fraction);
+}
+
 TEST(WindowStatsTest, RepeatedAttemptsNeedThreeSyns) {
   std::vector<PacketRecord> packets;
   for (int i = 0; i < 3; ++i) {

@@ -85,8 +85,9 @@ TEST_F(IdsFixture, RequiresTrainedModel) {
 }
 
 TEST_F(IdsFixture, RejectsBadWindow) {
-  EXPECT_THROW((RealTimeIds{*ids_box, Rng{1}, model, IdsConfig{.window = SimTime::seconds(0)}}),
-               std::invalid_argument);
+  IdsConfig config;
+  config.window = SimTime::seconds(0);
+  EXPECT_THROW((RealTimeIds{*ids_box, Rng{1}, model, config}), std::invalid_argument);
 }
 
 TEST_F(IdsFixture, WindowsCloseOnBoundaries) {

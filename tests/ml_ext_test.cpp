@@ -344,7 +344,9 @@ TEST(FederatedTest, FedAvgLearnsAcrossClients) {
 }
 
 TEST(FederatedTest, Validation) {
-  EXPECT_THROW(FederatedCnnTrainer(FederatedConfig{.rounds = 0}), std::invalid_argument);
+  FederatedConfig zero_rounds;
+  zero_rounds.rounds = 0;
+  EXPECT_THROW((FederatedCnnTrainer{zero_rounds}), std::invalid_argument);
   FederatedCnnTrainer trainer;
   StandardScaler scaler;
   EXPECT_THROW(trainer.train({}, scaler), std::invalid_argument);

@@ -1,6 +1,7 @@
 // Tests for the discrete-event engine, links, nodes/routing, and UDP.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "net/address.hpp"
@@ -121,6 +122,108 @@ TEST(SimulatorTest, CountsExecutedEvents) {
   sim.run_all();
   EXPECT_EQ(sim.events_executed(), 10u);
   EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Calendar-queue backend (the default scheduler)
+// --------------------------------------------------------------------------
+
+// Identical interleavings on both backends, including mixed bucket/spill
+// horizons and same-timestamp FIFO ties.
+TEST(CalendarQueueTest, OrderMatchesBinaryHeapAcrossHorizons) {
+  const std::vector<std::int64_t> delays_us = {
+      500,        300,        300,       7'000'000,  12,         999'999,   5'000'000'000,
+      4'095'999,  4'096'000,  4'097'000, 80'000'000, 80'000'000, 1,         0,
+      33'000'000, 64'000'000, 2'500,     2'500,      2'500,      123'456'789};
+  auto run = [&](SchedulerKind kind) {
+    Simulator sim{kind};
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < delays_us.size(); ++i) {
+      sim.schedule(SimTime::micros(delays_us[i]), [&order, i] { order.push_back(i); });
+    }
+    sim.run_all();
+    return order;
+  };
+  const auto calendar = run(SchedulerKind::kCalendar);
+  const auto heap = run(SchedulerKind::kBinaryHeap);
+  EXPECT_EQ(calendar, heap);
+  EXPECT_EQ(calendar.size(), delays_us.size());
+}
+
+TEST(CalendarQueueTest, FarFutureEventsSpillOverAndMigrateBack) {
+  Simulator sim{SchedulerKind::kCalendar};
+  // The wheel covers ~4.1 s; a 60 s timer must sit in the spillover heap
+  // until the wheel fast-forwards to it.
+  int ran = 0;
+  sim.schedule(SimTime::seconds(60), [&] { ++ran; });
+  sim.schedule(SimTime::millis(1), [&] { ++ran; });
+  EXPECT_EQ(sim.calendar_overflow_pending(), 1u);
+  sim.run_all();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.calendar_overflow_pending(), 0u);
+  EXPECT_GE(sim.calendar_rollovers(), 1u);
+  EXPECT_GE(sim.calendar_migrations(), 1u);
+  EXPECT_EQ(sim.now(), SimTime::seconds(60));
+}
+
+TEST(CalendarQueueTest, CancellationWorksInBucketsAndOverflow) {
+  Simulator sim{SchedulerKind::kCalendar};
+  bool near_ran = false;
+  bool far_ran = false;
+  auto near = sim.schedule(SimTime::millis(2), [&] { near_ran = true; });
+  auto far = sim.schedule(SimTime::seconds(30), [&] { far_ran = true; });
+  near.cancel();
+  far.cancel();
+  sim.run_all();
+  EXPECT_FALSE(near_ran);
+  EXPECT_FALSE(far_ran);
+  EXPECT_EQ(sim.events_cancelled(), 2u);
+}
+
+TEST(CalendarQueueTest, PostedEventsRunWithoutHandles) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.post(SimTime::millis(2), [&] { order.push_back(2); });
+  sim.post(SimTime::millis(1), [&] { order.push_back(1); });
+  sim.post_at(SimTime::seconds(10), [&] { order.push_back(3); });
+  EXPECT_THROW(sim.post(SimTime::millis(-1), [] {}), std::invalid_argument);
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(CalendarQueueTest, HighWaterAndPendingTrackBothBackends) {
+  for (SchedulerKind kind : {SchedulerKind::kCalendar, SchedulerKind::kBinaryHeap}) {
+    Simulator sim{kind};
+    for (int i = 0; i < 32; ++i) sim.schedule(SimTime::millis(1 + i % 3), [] {});
+    EXPECT_EQ(sim.pending_events(), 32u);
+    EXPECT_EQ(sim.queue_high_water(), 32u);
+    sim.run_all();
+    EXPECT_EQ(sim.pending_events(), 0u);
+    EXPECT_EQ(sim.queue_high_water(), 32u);
+    EXPECT_EQ(sim.events_executed(), 32u);
+    EXPECT_EQ(sim.time_regressions(), 0u);
+  }
+}
+
+TEST(CalendarQueueTest, ClearDropsBucketAndOverflowEvents) {
+  Simulator sim{SchedulerKind::kCalendar};
+  int ran = 0;
+  sim.schedule(SimTime::millis(1), [&] { ++ran; });
+  sim.schedule(SimTime::seconds(20), [&] { ++ran; });
+  sim.clear();
+  EXPECT_EQ(sim.events_pending(), 0u);
+  sim.run_all();
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(CalendarQueueTest, DefaultSchedulerIsProcessWide) {
+  EXPECT_EQ(Simulator::default_scheduler(), SchedulerKind::kCalendar);
+  Simulator::set_default_scheduler(SchedulerKind::kBinaryHeap);
+  Simulator heap_sim;
+  EXPECT_EQ(heap_sim.scheduler_kind(), SchedulerKind::kBinaryHeap);
+  Simulator::set_default_scheduler(SchedulerKind::kCalendar);
+  Simulator cal_sim;
+  EXPECT_EQ(cal_sim.scheduler_kind(), SchedulerKind::kCalendar);
 }
 
 // --------------------------------------------------------------------------
@@ -293,6 +396,41 @@ TEST(StarTopologyTest, TtlExpiryIsCounted) {
   topo.devices[0]->send(std::move(p));
   net.simulator().run_all();
   EXPECT_EQ(topo.router->stats().dropped_ttl, 1u);
+}
+
+TEST(StarTopologyTest, RouteCacheMatchesLinearScanAndInvalidates) {
+  // Enough devices that the router's table crosses the cache threshold.
+  Network net;
+  StarTopology topo = build_star_topology(net, StarTopologyConfig{.device_count = 12});
+  ASSERT_TRUE(Node::route_cache_enabled());
+
+  std::vector<Ipv4Address> dsts{topo.tserver->address(), topo.attacker->address()};
+  for (Node* dev : topo.devices) dsts.push_back(dev->address());
+  dsts.push_back(Ipv4Address{192, 168, 9, 9});  // no route: default or -1
+
+  // Cached and scan results must agree for every destination — twice, so
+  // the second pass reads populated cache slots.
+  std::vector<int> cached;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& dst : dsts) cached.push_back(topo.router->route_lookup(dst));
+  }
+  Node::set_route_cache_enabled(false);
+  std::vector<int> scanned;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& dst : dsts) scanned.push_back(topo.router->route_lookup(dst));
+  }
+  Node::set_route_cache_enabled(true);
+  EXPECT_EQ(cached, scanned);
+
+  // Adding a route must invalidate cached entries: the previously cached
+  // unknown destination now resolves through the new more-specific route.
+  const int before = topo.router->route_lookup(Ipv4Address{192, 168, 9, 9});
+  topo.router->add_route(Ipv4Address{192, 168, 9, 0}, 24, 0);
+  const int after = topo.router->route_lookup(Ipv4Address{192, 168, 9, 9});
+  EXPECT_EQ(after, 0);
+  // The star router has no default route, so the pre-invalidation answer
+  // was "unroutable".
+  EXPECT_EQ(before, -1);
 }
 
 TEST(StarTopologyTest, DuplicateNamesAndAddressesRejected) {
