@@ -1,0 +1,460 @@
+// bench_infer: microbenchmark of the batched, off-thread inference engine
+// (Table II framing), sweeping batch size × model × kernel × execution
+// mode through the three paper detectors.
+//
+// Each sweep point scores the same deterministic feature matrix:
+//   * kernel  — "scalar" (per-row predict(), the pre-overhaul loop) vs
+//     "batched" (the cache-blocked score_batch kernels), toggled through
+//     the Classifier::set_batched_inference legacy switch;
+//   * exec    — "inline" (simulation thread) vs "offthread" (the
+//     ids::InferenceEngine SPSC worker).
+// The kernels are bit-identical by construction and the engine is FIFO,
+// so every (kernel × exec) combination must produce the identical verdict
+// sequence: the bench hashes the verdicts and fails hard on any mismatch.
+// That checksum is the deterministic, golden-gateable output; packets/s,
+// CPU% and RSS are machine-dependent and reported but never gated.
+//
+// Outputs BENCH_INFER.json. With --golden FILE the verdict checksums are
+// checked against the committed golden (CI perf-smoke); --write-golden
+// regenerates it. --min-speedup S additionally requires the batched
+// kernel to reach S× the scalar packets/s at batch 64 on at least one
+// model (the PR acceptance gate; run on an otherwise idle machine).
+//
+// Usage:
+//   bench_infer [--small] [--out FILE] [--golden FILE]
+//               [--write-golden FILE] [--min-speedup S]
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "core/scenario.hpp"
+#include "features/extractor.hpp"
+#include "ids/infer_engine.hpp"
+#include "ml/classifier.hpp"
+#include "util/logging.hpp"
+
+using namespace ddoshield;
+
+namespace {
+
+constexpr std::uint64_t kScenarioSeed = 1;
+
+struct RunResult {
+  std::string model;
+  std::size_t batch = 0;
+  std::string kernel;  // "scalar" | "batched"
+  std::string exec;    // "inline" | "offthread"
+  std::uint64_t rows_per_pass = 0;
+  std::uint64_t rows_scored = 0;
+  double wall_seconds = 0.0;
+  double packets_per_sec = 0.0;   // machine-dependent
+  double cpu_percent = 0.0;       // process user+sys over wall (all threads)
+  long peak_rss_kb = 0;
+  std::uint64_t backpressure_waits = 0;  // offthread only
+  std::uint64_t verdict_checksum = 0;    // deterministic, gated
+};
+
+long peak_rss_kb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+double cpu_seconds() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  const auto to_s = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return to_s(usage.ru_utime) + to_s(usage.ru_stime);
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 0x100000001b3ull;
+}
+
+std::uint64_t checksum_verdicts(const ml::Verdicts& v) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const int x : v) h = fnv1a(h, static_cast<std::uint64_t>(static_cast<unsigned>(x)));
+  return h;
+}
+
+/// The shared evaluation matrix: features of a short deterministic
+/// capture, tiled until it holds at least min_rows rows so every batch
+/// size gets full batches.
+ml::DesignMatrix make_eval_matrix(const ml::DesignMatrix& base, std::size_t min_rows) {
+  ml::DesignMatrix x{base.cols()};
+  x.reserve(min_rows + base.rows());
+  while (x.rows() < min_rows) {
+    for (std::size_t i = 0; i < base.rows() && x.rows() < min_rows; ++i) x.add_row(base.row(i));
+  }
+  return x;
+}
+
+std::vector<ml::DesignMatrix> split_batches(const ml::DesignMatrix& x, std::size_t batch) {
+  std::vector<ml::DesignMatrix> out;
+  out.reserve((x.rows() + batch - 1) / batch);
+  for (std::size_t base = 0; base < x.rows(); base += batch) {
+    ml::DesignMatrix b{x.cols()};
+    const std::size_t n = std::min(batch, x.rows() - base);
+    b.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) b.add_row(x.row(base + i));
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+void score_pass_inline(const ml::Classifier& model, const std::vector<ml::DesignMatrix>& batches,
+                       ml::Verdicts* sink) {
+  ml::Verdicts v;
+  for (const ml::DesignMatrix& b : batches) {
+    model.score_batch(b, v);
+    if (sink) sink->insert(sink->end(), v.begin(), v.end());
+  }
+}
+
+void score_pass_offthread(ids::InferenceEngine& engine,
+                          const std::vector<ml::DesignMatrix>& batches, ml::Verdicts* sink,
+                          std::uint64_t* backpressure) {
+  ids::InferResult res;
+  for (const ml::DesignMatrix& b : batches) {
+    engine.submit(ml::DesignMatrix{b});  // copy: batches are reused across passes
+    while (engine.try_collect(res)) {
+      if (sink) sink->insert(sink->end(), res.verdicts.begin(), res.verdicts.end());
+    }
+  }
+  while (engine.outstanding() > 0) {
+    res = engine.collect();
+    if (sink) sink->insert(sink->end(), res.verdicts.begin(), res.verdicts.end());
+  }
+  if (backpressure) *backpressure = engine.stats().backpressure_waits;
+}
+
+RunResult run_point(const ml::Classifier& model, const ml::DesignMatrix& eval, std::size_t batch,
+                    bool batched_kernel, bool offthread, double min_measure_seconds) {
+  ml::Classifier::set_batched_inference(batched_kernel);
+  const std::vector<ml::DesignMatrix> batches = split_batches(eval, batch);
+
+  RunResult r;
+  r.model = model.name();
+  r.batch = batch;
+  r.kernel = batched_kernel ? "batched" : "scalar";
+  r.exec = offthread ? "offthread" : "inline";
+  r.rows_per_pass = eval.rows();
+
+  std::unique_ptr<ids::InferenceEngine> engine;
+  if (offthread) engine = std::make_unique<ids::InferenceEngine>(model);
+
+  // Untimed pass: warms caches and produces the gated verdict sequence.
+  ml::Verdicts verdicts;
+  verdicts.reserve(eval.rows());
+  if (offthread) {
+    score_pass_offthread(*engine, batches, &verdicts, nullptr);
+  } else {
+    score_pass_inline(model, batches, &verdicts);
+  }
+  r.verdict_checksum = checksum_verdicts(verdicts);
+
+  // Timed passes: repeat until the wall budget is met so fast kernels
+  // still accumulate a measurable interval.
+  const double cpu0 = cpu_seconds();
+  const auto t0 = std::chrono::steady_clock::now();
+  double wall = 0.0;
+  while (wall < min_measure_seconds) {
+    if (offthread) {
+      score_pass_offthread(*engine, batches, nullptr, &r.backpressure_waits);
+    } else {
+      score_pass_inline(model, batches, nullptr);
+    }
+    r.rows_scored += eval.rows();
+    wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+  r.wall_seconds = wall;
+  r.packets_per_sec = static_cast<double>(r.rows_scored) / (wall > 0 ? wall : 1e-9);
+  r.cpu_percent = 100.0 * (cpu_seconds() - cpu0) / (wall > 0 ? wall : 1e-9);
+  r.peak_rss_kb = peak_rss_kb();
+
+  ml::Classifier::set_batched_inference(true);
+  return r;
+}
+
+void write_json(const std::string& path, const std::vector<RunResult>& runs,
+                const std::vector<std::size_t>& batch_sizes, std::size_t eval_rows, bool small) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"bench\": \"bench_infer\",\n";
+  out << "  \"config\": {\n";
+  out << "    \"sweep\": \"" << (small ? "small" : "full") << "\",\n";
+  out << "    \"scenario_seed\": " << kScenarioSeed << ",\n";
+  out << "    \"eval_rows\": " << eval_rows << ",\n";
+  out << "    \"batch_sizes\": [";
+  for (std::size_t i = 0; i < batch_sizes.size(); ++i) out << (i ? ", " : "") << batch_sizes[i];
+  out << "],\n";
+  out << "    \"notes\": \"verdict_checksum is deterministic and identical across kernel/exec "
+         "modes (gated); packets_per_sec, cpu_percent and peak_rss_kb are machine-dependent "
+         "and not gated; cpu_percent covers all process threads so offthread runs can exceed "
+         "100\"\n";
+  out << "  },\n";
+  out << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"model\": \"%s\", \"batch\": %zu, \"kernel\": \"%s\", "
+                  "\"exec\": \"%s\",\n"
+                  "     \"rows_scored\": %llu, \"wall_seconds\": %.3f, "
+                  "\"packets_per_sec\": %.0f, \"cpu_percent\": %.1f,\n"
+                  "     \"peak_rss_kb\": %ld, \"backpressure_waits\": %llu, "
+                  "\"verdict_checksum\": \"%016llx\"}%s\n",
+                  r.model.c_str(), r.batch, r.kernel.c_str(), r.exec.c_str(),
+                  static_cast<unsigned long long>(r.rows_scored), r.wall_seconds,
+                  r.packets_per_sec, r.cpu_percent, r.peak_rss_kb,
+                  static_cast<unsigned long long>(r.backpressure_waits),
+                  static_cast<unsigned long long>(r.verdict_checksum),
+                  i + 1 < runs.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+  // Per-model batched-vs-scalar speedup at each batch size (inline exec).
+  out << "  \"comparison\": [";
+  bool first = true;
+  for (const RunResult& b : runs) {
+    if (b.kernel != "batched" || b.exec != "inline") continue;
+    for (const RunResult& s : runs) {
+      if (s.kernel != "scalar" || s.exec != "inline" || s.model != b.model ||
+          s.batch != b.batch) {
+        continue;
+      }
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n    {\"model\": \"%s\", \"batch\": %zu, "
+                    "\"scalar_packets_per_sec\": %.0f, \"batched_packets_per_sec\": %.0f, "
+                    "\"speedup\": %.2f}",
+                    first ? "" : ",", b.model.c_str(), b.batch, s.packets_per_sec,
+                    b.packets_per_sec,
+                    s.packets_per_sec > 0 ? b.packets_per_sec / s.packets_per_sec : 0.0);
+      out << buf;
+      first = false;
+    }
+  }
+  out << (first ? "" : "\n  ") << "]\n";
+  out << "}\n";
+
+  std::ofstream file{path};
+  file << out.str();
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// Golden format: one "model batch rows checksum" line per (model, batch)
+// pair ('#' lines are comments). Checksums come from batched-inline runs
+// but are mode-independent by the equality gate.
+int check_golden(const std::string& path, const std::vector<RunResult>& runs) {
+  std::ifstream file{path};
+  if (!file) {
+    std::fprintf(stderr, "GOLDEN FAIL: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  int failures = 0;
+  std::size_t checked = 0;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream in{line};
+    std::string model;
+    std::size_t batch = 0;
+    std::uint64_t rows = 0;
+    std::string checksum_hex;
+    if (!(in >> model >> batch >> rows >> checksum_hex)) {
+      std::fprintf(stderr, "GOLDEN FAIL: malformed line '%s'\n", line.c_str());
+      return 1;
+    }
+    const std::uint64_t checksum = std::stoull(checksum_hex, nullptr, 16);
+    bool found = false;
+    for (const RunResult& r : runs) {
+      if (r.kernel != "batched" || r.exec != "inline" || r.model != model || r.batch != batch) {
+        continue;
+      }
+      found = true;
+      ++checked;
+      if (r.rows_per_pass != rows || r.verdict_checksum != checksum) {
+        std::fprintf(stderr,
+                     "GOLDEN FAIL: %s batch=%zu expected rows=%llu checksum=%016llx, "
+                     "got rows=%llu checksum=%016llx\n",
+                     model.c_str(), batch, static_cast<unsigned long long>(rows),
+                     static_cast<unsigned long long>(checksum),
+                     static_cast<unsigned long long>(r.rows_per_pass),
+                     static_cast<unsigned long long>(r.verdict_checksum));
+        ++failures;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "GOLDEN FAIL: no run for model=%s batch=%zu\n", model.c_str(), batch);
+      ++failures;
+    }
+  }
+  if (checked == 0) {
+    std::fprintf(stderr, "GOLDEN FAIL: %s contains no sweep points\n", path.c_str());
+    return 1;
+  }
+  if (failures == 0) {
+    std::printf("golden OK: %zu sweep point(s) match %s\n", checked, path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+void write_golden(const std::string& path, const std::vector<RunResult>& runs) {
+  std::ofstream file{path};
+  file << "# bench_infer deterministic verdicts: model batch rows checksum\n";
+  file << "# Regenerate with: bench_infer --small --write-golden <this file>\n";
+  char buf[128];
+  for (const RunResult& r : runs) {
+    if (r.kernel != "batched" || r.exec != "inline") continue;
+    std::snprintf(buf, sizeof(buf), "%s %zu %llu %016llx\n", r.model.c_str(), r.batch,
+                  static_cast<unsigned long long>(r.rows_per_pass),
+                  static_cast<unsigned long long>(r.verdict_checksum));
+    file << buf;
+  }
+  std::printf("wrote golden %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  util::Logger::instance().set_level(util::LogLevel::kWarn);
+
+  bool small = false;
+  std::string out_path = "BENCH_INFER.json";
+  std::string golden_path;
+  std::string write_golden_path;
+  double min_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--small") {
+      small = true;
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--golden") {
+      golden_path = next();
+    } else if (arg == "--write-golden") {
+      write_golden_path = next();
+    } else if (arg == "--min-speedup") {
+      min_speedup = std::stod(next());
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_infer [--small] [--out FILE] [--golden FILE] "
+                   "[--write-golden FILE] [--min-speedup S]\n");
+      return 2;
+    }
+  }
+
+  // --- setup: one short capture trains all three models and supplies the
+  // evaluation rows.
+  core::Scenario train = core::training_scenario(kScenarioSeed);
+  train.device_count = 8;
+  train.duration = util::SimTime::seconds(20);
+  std::printf("[setup] generating %zu-device %.0f s capture...\n", train.device_count,
+              train.duration.to_seconds());
+  const core::GenerationResult gen = core::run_generation(train);
+  std::printf("[setup] training rf / kmeans / cnn on %zu packets...\n", gen.dataset.size());
+  const core::TrainedModels models = core::train_all_models(gen.dataset);
+
+  const features::FeatureMatrix fm = features::extract_features(gen.dataset);
+  ml::DesignMatrix base;
+  std::vector<int> labels;
+  core::to_design_matrix(fm, base, labels);
+  const std::size_t eval_rows = small ? 2048 : 8192;
+  const ml::DesignMatrix eval = make_eval_matrix(base, eval_rows);
+  const double measure_seconds = small ? 0.15 : 0.5;
+
+  const std::vector<std::size_t> batch_sizes =
+      small ? std::vector<std::size_t>{1, 64} : std::vector<std::size_t>{1, 16, 64, 256};
+
+  std::vector<RunResult> runs;
+  for (const char* name : bench::kModelNames) {
+    const ml::Classifier& model = models.get(name);
+    for (const std::size_t batch : batch_sizes) {
+      for (const bool batched : {false, true}) {
+        for (const bool offthread : {false, true}) {
+          runs.push_back(run_point(model, eval, batch, batched, offthread, measure_seconds));
+          const RunResult& r = runs.back();
+          std::printf(
+              "[run] %-6s batch=%-3zu %-7s %-9s packets/s=%10.0f cpu=%5.1f%% rss=%ld kB "
+              "checksum=%016llx\n",
+              r.model.c_str(), r.batch, r.kernel.c_str(), r.exec.c_str(), r.packets_per_sec,
+              r.cpu_percent, r.peak_rss_kb,
+              static_cast<unsigned long long>(r.verdict_checksum));
+        }
+      }
+    }
+  }
+
+  // --- hard gate: every (kernel × exec) mode must produce the identical
+  // verdict sequence for each (model, batch) point.
+  int exit_code = 0;
+  for (const RunResult& a : runs) {
+    for (const RunResult& b : runs) {
+      if (a.model != b.model || a.batch != b.batch) continue;
+      if (a.verdict_checksum != b.verdict_checksum) {
+        std::fprintf(stderr,
+                     "DETERMINISM FAIL: %s batch=%zu %s/%s checksum %016llx != %s/%s %016llx\n",
+                     a.model.c_str(), a.batch, a.kernel.c_str(), a.exec.c_str(),
+                     static_cast<unsigned long long>(a.verdict_checksum), b.kernel.c_str(),
+                     b.exec.c_str(), static_cast<unsigned long long>(b.verdict_checksum));
+        exit_code = 1;
+      }
+    }
+  }
+  // Batch size must not change verdicts either (pure chunking).
+  for (const RunResult& a : runs) {
+    for (const RunResult& b : runs) {
+      if (a.model == b.model && a.verdict_checksum != b.verdict_checksum) exit_code = 1;
+    }
+  }
+
+  // --- optional acceptance gate: batched kernel speedup at batch 64.
+  if (min_speedup > 0.0) {
+    double best = 0.0;
+    std::string best_model = "none";
+    for (const RunResult& b : runs) {
+      if (b.kernel != "batched" || b.exec != "inline" || b.batch != 64) continue;
+      for (const RunResult& s : runs) {
+        if (s.kernel != "scalar" || s.exec != "inline" || s.model != b.model || s.batch != 64) {
+          continue;
+        }
+        const double speedup = s.packets_per_sec > 0 ? b.packets_per_sec / s.packets_per_sec : 0;
+        if (speedup > best) {
+          best = speedup;
+          best_model = b.model;
+        }
+      }
+    }
+    std::printf("best batch-64 speedup: %.2fx (%s)\n", best, best_model.c_str());
+    if (best < min_speedup) {
+      std::fprintf(stderr, "SPEEDUP FAIL: best batch-64 speedup %.2fx < required %.2fx\n", best,
+                   min_speedup);
+      exit_code = 1;
+    }
+  }
+
+  write_json(out_path, runs, batch_sizes, eval.rows(), small);
+  if (!write_golden_path.empty()) write_golden(write_golden_path, runs);
+  if (!golden_path.empty() && exit_code == 0) exit_code = check_golden(golden_path, runs);
+  return exit_code;
+}

@@ -57,6 +57,7 @@ class PacketTap {
   bool enabled_ = true;
   std::uint64_t packets_captured_ = 0;
   obs::Counter* m_packets_;  // aggregate "capture.tap.packets"
+  obs::Counter* m_dropped_;  // "capture.tap.dropped": seen while paused
 };
 
 }  // namespace ddoshield::capture

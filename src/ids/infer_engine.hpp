@@ -1,0 +1,116 @@
+// Off-thread batched inference: the detection half of Fig. 2 lifted off
+// the simulation (forwarding) thread.
+//
+// The simulation thread submits one job per closed window — a design
+// matrix of that window's feature rows — through a bounded lock-free SPSC
+// ring; a dedicated scoring thread pops jobs in FIFO order, runs the
+// model's batched score_batch kernel, and pushes the verdicts through a
+// second SPSC ring back to the simulation thread, which merges them in
+// submission order.
+//
+// Determinism argument (DESIGN.md §10): a single worker consuming a FIFO
+// ring processes jobs in exactly submission order; score_batch is a pure
+// function of (model, matrix) and bit-identical to the inline scalar
+// loop; results return through a FIFO ring. Therefore the verdict
+// *sequence* is identical to inline scoring — only wall-clock timing
+// (which never feeds back into the simulation) differs. The engine
+// asserts the FIFO property by stamping each job with a sequence number
+// and refusing out-of-order results.
+//
+// Thread rules: submit/try_collect/collect/drain and publish_metrics are
+// simulation-thread only; the worker touches nothing but the rings, the
+// const model, and its RelaxedCounters (obs's registry instruments are
+// unsynchronised by design).
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "ml/classifier.hpp"
+#include "ml/design_matrix.hpp"
+#include "obs/metrics.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace ddoshield::ids {
+
+struct InferEngineConfig {
+  /// Jobs in flight (ring slots). A full ring back-pressures submit(),
+  /// which spin-yields until the worker frees a slot — counted, so the
+  /// obs snapshot shows when the scoring thread cannot keep up.
+  std::size_t ring_capacity = 8;
+};
+
+/// One scored job, returned in submission order.
+struct InferResult {
+  std::uint64_t seq = 0;
+  ml::Verdicts verdicts;
+  std::uint64_t inference_ns = 0;  // worker-side wall time for the batch
+};
+
+class InferenceEngine {
+ public:
+  /// The model must stay trained and unmutated while the engine lives.
+  explicit InferenceEngine(const ml::Classifier& model, InferEngineConfig config = {});
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Hands one batch to the scoring thread; returns its sequence number.
+  /// Spin-waits (never drops) when the ring is full.
+  std::uint64_t submit(ml::DesignMatrix x);
+
+  /// Non-blocking: pops the oldest completed result, if any.
+  bool try_collect(InferResult& out);
+
+  /// Blocking: waits for the oldest outstanding result.
+  InferResult collect();
+
+  /// Jobs submitted but not yet collected.
+  std::size_t outstanding() const { return submitted_ - collected_; }
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;          // worker-side
+    std::uint64_t backpressure_waits = 0; // submits that found the ring full
+    std::uint64_t ring_high_water = 0;    // max jobs in flight observed
+    std::uint64_t rows_scored = 0;        // worker-side
+  };
+  Stats stats() const;
+
+  /// Copies engine stats into the global registry ("ids.infer.*" —
+  /// ring_depth, backpressure, batch_rows); simulation-thread only.
+  void publish_metrics() const;
+
+ private:
+  struct Job {
+    std::uint64_t seq = 0;
+    ml::DesignMatrix x;
+  };
+
+  void worker_loop();
+
+  const ml::Classifier& model_;
+  InferEngineConfig config_;
+  util::SpscRing<Job> jobs_;
+  util::SpscRing<InferResult> results_;
+  std::atomic<bool> stop_{false};
+
+  // Simulation-thread state.
+  std::uint64_t submitted_ = 0;
+  std::uint64_t collected_ = 0;
+  std::uint64_t backpressure_waits_ = 0;
+  std::uint64_t ring_high_water_ = 0;
+  obs::Counter* m_backpressure_;
+  obs::Counter* m_batches_;
+  obs::Gauge* m_ring_depth_;
+  obs::Histogram* m_batch_rows_;
+
+  // Worker-thread state (published to the registry by the sim thread).
+  obs::RelaxedCounter completed_;
+  obs::RelaxedCounter rows_scored_;
+
+  std::thread worker_;  // last member: starts after everything it touches
+};
+
+}  // namespace ddoshield::ids

@@ -12,12 +12,19 @@ using util::SimTime;
 
 RealTimeIds::RealTimeIds(container::Container& owner, util::Rng rng,
                          const ml::Classifier& model, IdsConfig config)
-    : App{owner, "realtime-ids", rng}, model_{model}, config_{config} {
+    : App{owner, "realtime-ids", rng},
+      model_{model},
+      config_{config},
+      meter_{model.name(), config.meter} {
   if (!model_.trained()) {
     throw std::invalid_argument("RealTimeIds: model must be trained before deployment");
   }
   if (config_.window <= SimTime{}) {
     throw std::invalid_argument("RealTimeIds: window must be positive");
+  }
+  if (config_.offload_inference) {
+    engine_ = std::make_unique<InferenceEngine>(
+        model_, InferEngineConfig{config_.infer_ring_capacity});
   }
   auto& reg = obs::MetricsRegistry::global();
   m_feature_ns_ = &reg.histogram("ids." + model_.name() + ".feature_ns");
@@ -60,9 +67,13 @@ void RealTimeIds::on_record(const capture::PacketRecord& record) {
 }
 
 void RealTimeIds::close_window() {
-  if (buffer_.empty()) return;
+  if (buffer_.empty()) {
+    if (engine_) drain_completed(/*block=*/false);
+    return;
+  }
 
-  WindowReport report;
+  PendingWindow pending;
+  WindowReport& report = pending.report;
   report.window_index = current_window_;
   report.window_start =
       SimTime::nanos(static_cast<std::int64_t>(current_window_) * config_.window.ns());
@@ -70,24 +81,45 @@ void RealTimeIds::close_window() {
 
   // --- preprocessing: statistical features over the window (measured) -----
   features::WindowStats stats;
-  std::vector<features::FeatureRow> rows;
+  ml::DesignMatrix x{features::kFeatureCount};
   {
     obs::ScopedTimer timer{*m_feature_ns_, report.cpu_feature_ns};
     stats = features::compute_window_stats(buffer_, config_.window);
-    rows.reserve(buffer_.size());
-    for (const auto& r : buffer_) rows.push_back(features::make_feature_row(r, stats));
+    x.reserve(buffer_.size());
+    for (const auto& r : buffer_) x.add_row(features::make_feature_row(r, stats));
   }
+  pending.truths.reserve(buffer_.size());
+  for (const auto& r : buffer_) pending.truths.push_back(r.is_malicious() ? 1 : 0);
 
-  // --- detection: model inference over every row (measured) ----------------
-  ml::ConfusionMatrix window_cm;
+  buffer_.clear();
+  m_backlog_->set(0.0);
+
+  // --- detection: batched inference over the window's matrix --------------
+  if (engine_) {
+    pending_.push_back(std::move(pending));
+    engine_->submit(std::move(x));
+    drain_completed(/*block=*/false);
+    return;
+  }
+  std::uint64_t inference_ns = 0;
+  ml::Verdicts verdicts;
   {
-    obs::ScopedTimer timer{*m_inference_ns_, report.cpu_inference_ns};
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const int truth = buffer_[i].is_malicious() ? 1 : 0;
-      const int predicted = model_.predict(rows[i]);
-      window_cm.add(truth, predicted);
-      confusion_.add(truth, predicted);
-    }
+    obs::ScopedTimer timer{inference_ns};
+    model_.score_batch(x, verdicts);
+  }
+  finalize_window(std::move(pending), verdicts, inference_ns);
+}
+
+void RealTimeIds::finalize_window(PendingWindow&& pending, const ml::Verdicts& verdicts,
+                                  std::uint64_t inference_ns) {
+  WindowReport report = pending.report;
+  report.cpu_inference_ns = inference_ns;
+  m_inference_ns_->observe(inference_ns);
+
+  ml::ConfusionMatrix window_cm;
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    window_cm.add(pending.truths[i], verdicts[i]);
+    confusion_.add(pending.truths[i], verdicts[i]);
   }
 
   report.truth_malicious = window_cm.tp() + window_cm.fn();
@@ -100,18 +132,36 @@ void RealTimeIds::close_window() {
   m_windows_->inc();
   m_verdict_malicious_->inc(report.predicted_malicious);
   m_verdict_benign_->inc(report.packets - report.predicted_malicious);
+  meter_.on_window_closed(report.window_index, report.cpu_feature_ns, report.cpu_inference_ns,
+                          static_cast<std::uint64_t>(config_.window.ns()));
 
   auto& trace = obs::TraceRecorder::global();
   if (trace.enabled()) {
     trace.span("ids.window." + model_.name(), "ids", report.window_start, config_.window);
   }
+}
 
-  buffer_.clear();
-  m_backlog_->set(0.0);
+void RealTimeIds::drain_completed(bool block) {
+  if (!engine_) return;
+  InferResult result;
+  while (engine_->outstanding() > 0) {
+    if (block) {
+      result = engine_->collect();
+    } else if (!engine_->try_collect(result)) {
+      break;
+    }
+    // Single FIFO worker: results arrive in submission order, so the
+    // oldest pending window is always the one this result scores.
+    PendingWindow pending = std::move(pending_.front());
+    pending_.pop_front();
+    finalize_window(std::move(pending), result.verdicts, result.inference_ns);
+  }
+  engine_->publish_metrics();
 }
 
 void RealTimeIds::flush() {
   if (!buffer_.empty()) close_window();
+  if (engine_) drain_completed(/*block=*/true);
 }
 
 IdsSummary RealTimeIds::summarize() const {
@@ -126,16 +176,12 @@ IdsSummary RealTimeIds::summarize() const {
     accuracy_sum += r.accuracy;
     s.min_accuracy = std::min(s.min_accuracy, r.accuracy);
     s.packets += r.packets;
-    const double work_ns =
-        config_.meter.per_window_overhead_ms * 1e6 +
-        static_cast<double>(r.cpu_feature_ns) * config_.meter.feature_slowdown +
-        static_cast<double>(r.cpu_inference_ns) * config_.meter.inference_slowdown;
-    cpu_fraction_sum += work_ns / static_cast<double>(config_.window.ns());
+    cpu_fraction_sum += meter_.window_cpu_percent(
+        r.cpu_feature_ns, r.cpu_inference_ns, static_cast<std::uint64_t>(config_.window.ns()));
   }
   s.average_accuracy = accuracy_sum / static_cast<double>(reports_.size());
   s.overall_accuracy = confusion_.accuracy();
-  s.cpu_percent =
-      100.0 * std::min(1.0, cpu_fraction_sum / static_cast<double>(reports_.size()));
+  s.cpu_percent = cpu_fraction_sum / static_cast<double>(reports_.size());
 
   const double scratch =
       static_cast<double>(model_.inference_scratch_bytes()) *

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "capture/packet_record.hpp"
 #include "capture/tap.hpp"
 #include "features/window_stats.hpp"
+#include "ids/infer_engine.hpp"
 #include "ids/resource_meter.hpp"
 #include "ml/classifier.hpp"
 #include "ml/metrics.hpp"
@@ -56,6 +58,13 @@ struct IdsSummary {
 struct IdsConfig {
   util::SimTime window = util::SimTime::seconds(1);
   ResourceMeterConfig meter;
+  /// Scores each closed window on the dedicated InferenceEngine thread
+  /// instead of inline. The verdict sequence is identical either way (see
+  /// DESIGN.md §10); reports for in-flight windows materialise when their
+  /// results drain, at the latest at flush().
+  bool offload_inference = false;
+  /// Windows in flight before submit() back-pressures (offload mode).
+  std::size_t infer_ring_capacity = 8;
 };
 
 class RealTimeIds : public apps::App {
@@ -82,12 +91,28 @@ class RealTimeIds : public apps::App {
   void on_stop() override;
 
  private:
+  /// One window whose features are computed but whose verdicts are still
+  /// on the scoring thread (offload mode).
+  struct PendingWindow {
+    WindowReport report;      // everything but the verdict-derived fields
+    std::vector<int> truths;  // ground-truth label per row
+  };
+
   void on_record(const capture::PacketRecord& record);
   void close_window();
   void schedule_tick();
+  /// Fills in the verdict-derived report fields and commits the report.
+  void finalize_window(PendingWindow&& pending, const ml::Verdicts& verdicts,
+                       std::uint64_t inference_ns);
+  /// Collects completed offload results in submission order; with block
+  /// set, waits until none are outstanding.
+  void drain_completed(bool block);
 
   const ml::Classifier& model_;
   IdsConfig config_;
+  ResourceMeter meter_;
+  std::unique_ptr<InferenceEngine> engine_;
+  std::deque<PendingWindow> pending_;
   std::vector<capture::PacketRecord> buffer_;
   std::uint64_t buffer_peak_bytes_ = 0;
   std::uint64_t current_window_ = 0;

@@ -1,0 +1,85 @@
+#include "ids/resource_meter.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <unistd.h>
+#define DDOSHIELD_HAVE_RUSAGE 1
+#endif
+
+namespace ddoshield::ids {
+
+ResourceMeter::ResourceMeter(const std::string& model_name, ResourceMeterConfig config)
+    : config_{config} {
+#if defined(__linux__)
+  status_fd_ = ::open("/proc/self/status", O_RDONLY | O_CLOEXEC);
+#endif
+  auto& reg = obs::MetricsRegistry::global();
+  m_cpu_percent_ = &reg.gauge("ids." + model_name + ".cpu_percent");
+  m_rss_kb_ = &reg.gauge("ids." + model_name + ".rss_kb");
+}
+
+ResourceMeter::~ResourceMeter() {
+#if defined(__linux__)
+  if (status_fd_ >= 0) ::close(status_fd_);
+#endif
+}
+
+double ResourceMeter::window_cpu_percent(std::uint64_t feature_ns, std::uint64_t inference_ns,
+                                         std::uint64_t window_ns) const {
+  if (window_ns == 0) return 0.0;
+  const double work_ns = config_.per_window_overhead_ms * 1e6 +
+                         static_cast<double>(feature_ns) * config_.feature_slowdown +
+                         static_cast<double>(inference_ns) * config_.inference_slowdown;
+  return 100.0 * std::min(1.0, work_ns / static_cast<double>(window_ns));
+}
+
+std::uint64_t ResourceMeter::sample_rss_kb(std::uint64_t window_index) {
+  if (window_index == last_sampled_window_) return cached_rss_kb_;
+  cached_rss_kb_ = read_rss_kb();
+  last_sampled_window_ = window_index;
+  ++samples_;
+  return cached_rss_kb_;
+}
+
+void ResourceMeter::on_window_closed(std::uint64_t window_index, std::uint64_t feature_ns,
+                                     std::uint64_t inference_ns, std::uint64_t window_ns) {
+  m_cpu_percent_->set(window_cpu_percent(feature_ns, inference_ns, window_ns));
+  m_rss_kb_->set(static_cast<double>(sample_rss_kb(window_index)));
+}
+
+std::uint64_t ResourceMeter::read_rss_kb() {
+#if defined(__linux__)
+  if (status_fd_ >= 0) {
+    // /proc/self/status regenerates on every read; pread from 0 on the
+    // cached descriptor avoids the open/close pair per sample.
+    char buf[4096];
+    const ssize_t n = ::pread(status_fd_, buf, sizeof(buf) - 1, 0);
+    if (n > 0) {
+      buf[n] = '\0';
+      if (const char* line = std::strstr(buf, "VmRSS:")) {
+        return std::strtoull(line + 6, nullptr, 10);  // field is in kB
+      }
+    }
+  }
+#endif
+#if defined(DDOSHIELD_HAVE_RUSAGE)
+  struct rusage ru{};
+  if (::getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(ru.ru_maxrss) / 1024;  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss);  // KiB elsewhere
+#endif
+  }
+#endif
+  return 0;
+}
+
+}  // namespace ddoshield::ids

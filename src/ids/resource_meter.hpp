@@ -22,6 +22,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+
+namespace ddoshield::obs {
+class Gauge;
+}
 
 namespace ddoshield::ids {
 
@@ -44,6 +49,59 @@ struct ResourceMeterConfig {
   double per_window_overhead_ms = 150.0;
   /// Rows per inference batch chunk (TF-style window batching).
   std::size_t inference_chunk = 32;
+};
+
+/// Per-model resource sampler. Owns the slowdown-factor CPU formula (one
+/// place, shared by the per-window gauge and IdsSummary) and the process
+/// RSS probe.
+///
+/// The RSS probe reads VmRSS from /proc/self/status through a file
+/// descriptor opened once at construction (pread from offset 0 — the
+/// procfs file regenerates per read, so no reopen is needed) and is
+/// rate-limited to one read per detection window: re-sampling within the
+/// same window returns the cached value. Both matter on the hot path —
+/// the old pattern of open()+parse on every probe costs two syscalls plus
+/// a path walk per packet window. Where procfs is unavailable the probe
+/// falls back to getrusage(RUSAGE_SELF) peak RSS.
+///
+/// Each window close publishes "ids.<model>.cpu_percent" and
+/// "ids.<model>.rss_kb" gauges, so per-model Table II figures land in the
+/// ddoshield-metrics-v1 snapshot alongside the latency histograms.
+class ResourceMeter {
+ public:
+  ResourceMeter(const std::string& model_name, ResourceMeterConfig config);
+  ~ResourceMeter();
+
+  ResourceMeter(const ResourceMeter&) = delete;
+  ResourceMeter& operator=(const ResourceMeter&) = delete;
+
+  /// Modelled reference-deployment CPU for one window, as a percentage of
+  /// the window's real-time budget (clamped to 100).
+  double window_cpu_percent(std::uint64_t feature_ns, std::uint64_t inference_ns,
+                            std::uint64_t window_ns) const;
+
+  /// Process RSS in KiB, sampled at most once per window index; repeat
+  /// calls within a window return the cached value.
+  std::uint64_t sample_rss_kb(std::uint64_t window_index);
+
+  /// Updates the per-model gauges for one closed window.
+  void on_window_closed(std::uint64_t window_index, std::uint64_t feature_ns,
+                        std::uint64_t inference_ns, std::uint64_t window_ns);
+
+  const ResourceMeterConfig& config() const { return config_; }
+  /// Number of actual /proc (or getrusage) reads — observable rate limit.
+  std::uint64_t samples_taken() const { return samples_; }
+
+ private:
+  std::uint64_t read_rss_kb();
+
+  ResourceMeterConfig config_;
+  int status_fd_ = -1;
+  std::uint64_t last_sampled_window_ = ~0ull;
+  std::uint64_t cached_rss_kb_ = 0;
+  std::uint64_t samples_ = 0;
+  obs::Gauge* m_cpu_percent_;
+  obs::Gauge* m_rss_kb_;
 };
 
 }  // namespace ddoshield::ids

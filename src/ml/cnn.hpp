@@ -38,6 +38,14 @@ class Cnn1D : public Classifier {
   std::string name() const override { return "cnn"; }
   void fit(const DesignMatrix& x, const std::vector<int>& y) override;
   int predict(std::span<const double> row) const override;
+  /// Batched kernel: scales and convolves a block of rows into an
+  /// im2col-style (rows × flat) pooled matrix, then runs the dense layers
+  /// as a register-blocked GEMM — four independent hidden-unit
+  /// accumulators per pass, each summing the flat dimension in the scalar
+  /// path's ascending order, so the result is bit-identical to predict()
+  /// while the accumulator fan breaks the FP add latency chain that
+  /// serialises the scalar dot products. No per-row allocation.
+  void score_batch(const DesignMatrix& x, Verdicts& out) const override;
   bool trained() const override { return trained_; }
 
   /// Class probabilities (softmax output) for one raw row.

@@ -184,4 +184,24 @@ void DecisionTree::load(util::ByteReader& r) {
 
 std::uint64_t DecisionTree::byte_size() const { return nodes_.size() * sizeof(Node); }
 
+std::int32_t DecisionTree::flatten_append(std::vector<std::int32_t>& feature,
+                                          std::vector<double>& threshold,
+                                          std::vector<std::int32_t>& left,
+                                          std::vector<std::int32_t>& right,
+                                          std::vector<std::int32_t>& leaf_class) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree::flatten_append: not trained");
+  const auto offset = static_cast<std::int32_t>(feature.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    const auto self = static_cast<std::int32_t>(offset + static_cast<std::int32_t>(i));
+    const bool leaf = n.feature < 0 || n.left < 0 || n.right < 0;
+    feature.push_back(leaf ? -1 : n.feature);
+    threshold.push_back(n.threshold);
+    left.push_back(leaf ? self : n.left + offset);
+    right.push_back(leaf ? self : n.right + offset);
+    leaf_class.push_back(n.leaf_class);
+  }
+  return offset;
+}
+
 }  // namespace ddoshield::ml

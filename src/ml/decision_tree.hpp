@@ -43,6 +43,17 @@ class DecisionTree {
   /// Bytes used by the node array.
   std::uint64_t byte_size() const;
 
+  /// Appends this tree's nodes to the caller's parallel flat arrays (SoA),
+  /// child indices rebased to absolute positions; returns the root's
+  /// absolute index. Nodes the scalar walker treats as leaves (feature,
+  /// left, or right negative) are emitted with feature = -1 and self-loop
+  /// children, so batched traversal terminates on a single test per hop.
+  /// RandomForest's batched kernel builds its whole-forest layout with
+  /// this.
+  std::int32_t flatten_append(std::vector<std::int32_t>& feature, std::vector<double>& threshold,
+                              std::vector<std::int32_t>& left, std::vector<std::int32_t>& right,
+                              std::vector<std::int32_t>& leaf_class) const;
+
  private:
   struct Node {
     // Internal node: feature >= 0, children set. Leaf: feature == -1,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "util/stats.hpp"
@@ -32,15 +33,19 @@ std::vector<double> StandardScaler::transform(std::span<const double> row) const
 }
 
 void StandardScaler::transform_inplace(std::span<double> row) const {
+  transform_into(row, row);
+}
+
+void StandardScaler::transform_into(std::span<const double> row, std::span<double> out) const {
   if (!fitted()) throw std::logic_error("StandardScaler: not fitted");
-  if (row.size() != mean_.size()) {
+  if (row.size() != mean_.size() || out.size() != mean_.size()) {
     throw std::invalid_argument("StandardScaler::transform: wrong width");
   }
   for (std::size_t c = 0; c < row.size(); ++c) {
     // Clamp to the training support (±3σ): robust-inference guard that
     // keeps a single drifted feature (an absolute timestamp, a byte-rate
     // spike) from dominating distances or saturating activations.
-    row[c] = std::clamp((row[c] - mean_[c]) / stddev_[c], -3.0, 3.0);
+    out[c] = std::clamp((row[c] - mean_[c]) / stddev_[c], -3.0, 3.0);
   }
 }
 
@@ -56,9 +61,29 @@ DesignMatrix StandardScaler::transform(const DesignMatrix& x) const {
   return out;
 }
 
+std::uint64_t StandardScaler::fingerprint() const {
+  // FNV-1a over the exact byte representation, so any parameter drift —
+  // even in the last ulp — changes the stamp.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](const std::vector<double>& xs) {
+    for (const double v : xs) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &v, sizeof bits);
+      for (int shift = 0; shift < 64; shift += 8) {
+        h ^= (bits >> shift) & 0xffU;
+        h *= 0x100000001b3ULL;
+      }
+    }
+  };
+  mix(mean_);
+  mix(stddev_);
+  return h;
+}
+
 void StandardScaler::save(util::ByteWriter& w) const {
   w.put_f64_span(mean_);
   w.put_f64_span(stddev_);
+  w.put_u64(fingerprint());
 }
 
 void StandardScaler::load(util::ByteReader& r) {
@@ -66,6 +91,12 @@ void StandardScaler::load(util::ByteReader& r) {
   stddev_ = r.get_f64_vector();
   if (mean_.size() != stddev_.size()) {
     throw std::invalid_argument("StandardScaler::load: inconsistent sizes");
+  }
+  const std::uint64_t stamp = r.get_u64();
+  if (stamp != fingerprint()) {
+    throw std::invalid_argument(
+        "StandardScaler::load: fingerprint mismatch (train/serve scaler skew "
+        "or corrupted model file)");
   }
 }
 

@@ -22,13 +22,29 @@ class StandardScaler {
   std::vector<double> transform(std::span<const double> row) const;
   /// Scales one row in-place.
   void transform_inplace(std::span<double> row) const;
+  /// Scales one row into a caller-provided buffer of the same width —
+  /// the real-time path's form: no per-call allocation, identical math.
+  void transform_into(std::span<const double> row, std::span<double> out) const;
   /// Scales a whole matrix.
   DesignMatrix transform(const DesignMatrix& x) const;
 
   const std::vector<double>& mean() const { return mean_; }
   const std::vector<double>& stddev() const { return stddev_; }
 
+  /// Order-sensitive digest of (mean, stddev): the train/serve equality
+  /// stamp. Two scalers with the same fingerprint apply the same affine
+  /// map, so a model file whose stored fingerprint disagrees with its
+  /// stored parameters was corrupted or assembled from mismatched halves
+  /// — the silent-skew family EXPERIMENTS.md (E3) analyses.
+  std::uint64_t fingerprint() const;
+
+  bool operator==(const StandardScaler& other) const {
+    return mean_ == other.mean_ && stddev_ == other.stddev_;
+  }
+
   void save(util::ByteWriter& w) const;
+  /// Throws std::invalid_argument when the stored fingerprint does not
+  /// match the stored parameters (train/serve scaler skew guard).
   void load(util::ByteReader& r);
 
  private:

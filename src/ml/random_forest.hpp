@@ -32,6 +32,12 @@ class RandomForest : public Classifier {
   std::string name() const override { return "rf"; }
   void fit(const DesignMatrix& x, const std::vector<int>& y) override;
   int predict(std::span<const double> row) const override;
+  /// Batched kernel over a flattened whole-forest node layout (SoA arrays,
+  /// leaves as self-loops), walked row-block by row-block with a cmov
+  /// select per hop — no virtual dispatch per tree, no pointer chase into
+  /// per-tree vectors. Bit-identical to predict() per row; falls back to
+  /// the scalar loop when set_batched_inference(false).
+  void score_batch(const DesignMatrix& x, Verdicts& out) const override;
   bool trained() const override { return !trees_.empty(); }
 
   void save(util::ByteWriter& w) const override;
@@ -44,8 +50,22 @@ class RandomForest : public Classifier {
   const RandomForestConfig& config() const { return config_; }
 
  private:
+  /// Whole-forest SoA node arrays for the batched kernel, rebuilt after
+  /// fit() and load() (inference-only; serialization stays tree-shaped).
+  struct FlatForest {
+    std::vector<std::int32_t> feature;  // -1 marks a leaf
+    std::vector<double> threshold;
+    std::vector<std::int32_t> left, right;  // absolute; self-loop at leaves
+    std::vector<std::int32_t> leaf_class;
+    std::vector<std::int32_t> roots;  // one per tree
+    void clear();
+  };
+
+  void rebuild_flat();
+
   RandomForestConfig config_;
   std::vector<DecisionTree> trees_;
+  FlatForest flat_;
   int num_classes_ = 2;
 };
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -19,6 +20,23 @@
 #include <string_view>
 
 namespace ddoshield::obs {
+
+/// Relaxed atomic counter for code that runs off the simulation thread
+/// (the IDS scoring worker). The registry's Counter / Gauge / Histogram
+/// are deliberately unsynchronised — every other layer is single-threaded
+/// and the hot path must stay a plain integer increment — so cross-thread
+/// producers accumulate into a RelaxedCounter and the owning component
+/// publishes the value into a registry instrument from the simulation
+/// thread (see ids::InferenceEngine::publish_metrics).
+class RelaxedCounter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
 
 /// Monotonically increasing event count.
 class Counter {

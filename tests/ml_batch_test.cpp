@@ -1,0 +1,245 @@
+// Batch-vs-scalar equivalence for the three paper models: score_batch
+// must be bit-identical to per-row predict() — on training-like data and
+// on adversarial fuzz matrices — and the train/serve scaler guards must
+// hold. These are the determinism tests backing DESIGN.md §10.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/cnn.hpp"
+#include "ml/design_matrix.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/preprocess.hpp"
+#include "ml/random_forest.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace ddoshield::ml {
+namespace {
+
+using util::Rng;
+
+constexpr std::size_t kDims = 17;  // the feature schema's width
+
+void make_blobs(std::size_t n, double separation, Rng& rng, DesignMatrix& x,
+                std::vector<int>& y) {
+  x = DesignMatrix{kDims};
+  y.clear();
+  std::vector<double> row(kDims);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    for (std::size_t d = 0; d < kDims; ++d) {
+      row[d] = rng.normal(cls == 0 ? 0.0 : separation, 1.0);
+    }
+    x.add_row(row);
+    y.push_back(cls);
+  }
+}
+
+/// Adversarial inputs for a tie-hunting equality check: clustered noise,
+/// exact duplicates, near-boundary points, zeros, and large magnitudes.
+DesignMatrix make_fuzz_matrix(std::size_t n, Rng& rng) {
+  DesignMatrix x{kDims};
+  std::vector<double> row(kDims);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (i % 5) {
+      case 0:  // broad uniform noise
+        for (auto& v : row) v = rng.uniform(-10.0, 10.0);
+        break;
+      case 1:  // tight cluster near the class boundary
+        for (auto& v : row) v = rng.normal(1.5, 0.05);
+        break;
+      case 2:  // all-zero / constant rows
+        for (auto& v : row) v = 0.0;
+        break;
+      case 3:  // huge magnitudes (exercise the scaler's ±3σ clamp)
+        for (auto& v : row) v = rng.uniform(-1e6, 1e6);
+        break;
+      default:  // duplicate of the previous row (exact ties)
+        break;
+    }
+    x.add_row(row);
+  }
+  return x;
+}
+
+/// score_batch (batched) vs per-row predict() vs score_batch with the
+/// legacy scalar kernel: all three must agree verdict-for-verdict.
+void expect_batch_matches_scalar(const Classifier& model, const DesignMatrix& x) {
+  Verdicts batched;
+  model.score_batch(x, batched);
+  ASSERT_EQ(batched.size(), x.rows());
+
+  model.set_batched_inference(false);
+  Verdicts legacy;
+  model.score_batch(x, legacy);
+  model.set_batched_inference(true);
+
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    ASSERT_EQ(batched[i], model.predict(x.row(i))) << model.name() << " row " << i;
+    ASSERT_EQ(batched[i], legacy[i]) << model.name() << " legacy row " << i;
+  }
+}
+
+struct Trained {
+  std::unique_ptr<Classifier> model;
+  DesignMatrix train_x;
+  std::vector<int> train_y;
+};
+
+Trained train(std::unique_ptr<Classifier> model, std::uint64_t seed) {
+  Trained t;
+  Rng rng{seed};
+  make_blobs(600, 3.0, rng, t.train_x, t.train_y);
+  model->fit(t.train_x, t.train_y);
+  t.model = std::move(model);
+  return t;
+}
+
+class BatchEqualityTest : public ::testing::TestWithParam<int> {
+ protected:
+  Trained make_trained() const {
+    switch (GetParam()) {
+      case 0: {
+        RandomForestConfig cfg;
+        cfg.n_estimators = 20;  // keep the fuzz sweep fast
+        return train(std::make_unique<RandomForest>(cfg), 11);
+      }
+      case 1:
+        return train(std::make_unique<KMeansDetector>(), 12);
+      default: {
+        CnnConfig cfg;
+        cfg.epochs = 2;
+        cfg.max_training_rows = 400;
+        return train(std::make_unique<Cnn1D>(cfg), 13);
+      }
+    }
+  }
+};
+
+TEST_P(BatchEqualityTest, BitIdenticalOnTrainingData) {
+  const Trained t = make_trained();
+  expect_batch_matches_scalar(*t.model, t.train_x);
+}
+
+TEST_P(BatchEqualityTest, BitIdenticalOnFuzzMatrices) {
+  const Trained t = make_trained();
+  for (std::uint64_t seed = 100; seed < 104; ++seed) {
+    Rng rng{seed};
+    expect_batch_matches_scalar(*t.model, make_fuzz_matrix(97, rng));
+  }
+}
+
+TEST_P(BatchEqualityTest, OddBatchSizesIncludingPartialTiles) {
+  // Sizes straddling the kernels' internal row blocks and the GEMM tile
+  // width (1, sub-tile, tile±1, block±1).
+  const Trained t = make_trained();
+  Rng rng{42};
+  for (const std::size_t n : {1u, 2u, 15u, 16u, 17u, 31u, 33u, 63u, 65u}) {
+    expect_batch_matches_scalar(*t.model, make_fuzz_matrix(n, rng));
+  }
+}
+
+TEST_P(BatchEqualityTest, SaveLoadRoundTripKeepsBatchVerdicts) {
+  const Trained t = make_trained();
+  util::ByteWriter w;
+  t.model->save(w);
+
+  auto fresh = [&]() -> std::unique_ptr<Classifier> {
+    switch (GetParam()) {
+      case 0: return std::make_unique<RandomForest>();
+      case 1: return std::make_unique<KMeansDetector>();
+      default: return std::make_unique<Cnn1D>();
+    }
+  }();
+  util::ByteReader r{w.bytes()};
+  fresh->load(r);
+
+  Rng rng{7};
+  const DesignMatrix x = make_fuzz_matrix(64, rng);
+  Verdicts before, after;
+  t.model->score_batch(x, before);
+  fresh->score_batch(x, after);
+  EXPECT_EQ(before, after);
+}
+
+std::string model_param_name(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0: return "Rf";
+    case 1: return "Kmeans";
+    default: return "Cnn";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, BatchEqualityTest, ::testing::Values(0, 1, 2),
+                         model_param_name);
+
+// --------------------------------------------------------------------------
+// Scaler guards (train/serve equality)
+// --------------------------------------------------------------------------
+
+TEST(ScalerGuardTest, TransformIntoMatchesTransform) {
+  Rng rng{3};
+  DesignMatrix x;
+  std::vector<int> y;
+  make_blobs(50, 3.0, rng, x, y);
+  StandardScaler scaler;
+  scaler.fit(x);
+
+  std::vector<double> buf(kDims);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto expected = scaler.transform(x.row(i));
+    scaler.transform_into(x.row(i), buf);
+    for (std::size_t c = 0; c < kDims; ++c) {
+      // Bit-identical, not just close: the batched path feeds the models
+      // through transform_into.
+      EXPECT_EQ(buf[c], expected[c]);
+    }
+  }
+}
+
+TEST(ScalerGuardTest, FingerprintTracksParameters) {
+  Rng rng{4};
+  DesignMatrix x;
+  std::vector<int> y;
+  make_blobs(50, 3.0, rng, x, y);
+  StandardScaler a, b;
+  a.fit(x);
+  b.fit(x);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  DesignMatrix shifted{kDims};
+  std::vector<double> row(kDims, 0.5);
+  shifted.add_row(row);
+  row.assign(kDims, 1.5);
+  shifted.add_row(row);
+  b.fit(shifted);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(ScalerGuardTest, LoadRejectsTamperedParameters) {
+  Rng rng{5};
+  DesignMatrix x;
+  std::vector<int> y;
+  make_blobs(50, 3.0, rng, x, y);
+  StandardScaler scaler;
+  scaler.fit(x);
+
+  util::ByteWriter w;
+  scaler.save(w);
+  std::vector<std::uint8_t> bytes = w.bytes();
+  // Flip one bit inside the first mean value: the affine map changes but
+  // the stored fingerprint stays — exactly the train/serve skew the guard
+  // exists to catch.
+  bytes[sizeof(std::uint64_t)] ^= 0x01;
+
+  StandardScaler loaded;
+  util::ByteReader r{bytes};
+  EXPECT_THROW(loaded.load(r), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddoshield::ml
