@@ -12,7 +12,7 @@
 // by statistical-feature computation), CNN the largest memory, K-Means
 // the lightest model by orders of magnitude.
 //
-// Emits BENCH_E4.json: a ddoshield-metrics-v1 snapshot of the whole run's
+// Emits BENCH_E4.json: a ddoshield-metrics-v2 snapshot of the whole run's
 // counters and latency histograms plus per-model "bench.e4.*" gauges for
 // the table's measured values (schema documented in DESIGN.md).
 #include "bench/bench_common.hpp"

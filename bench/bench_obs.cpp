@@ -1,0 +1,311 @@
+// bench_obs: observability-overhead microbenchmark for the flight
+// recorder. The same deterministic detection scenario runs with the flight
+// recorder disabled and enabled (1-in-16 uid sampling, the default), and
+// the tap packets/s of the two configurations are compared best-of-N.
+//
+// The gate is relative, not absolute: both configurations run interleaved
+// in the same process on the same machine, so "flight on must keep >= 95%
+// of flight-off packets/s" holds regardless of how fast the host is. The
+// recorder must not change behaviour either — events_total, packets_total,
+// and the number of flight events recorded are deterministic counters,
+// equal across reps and machines, and pinned by the committed golden.
+//
+// Outputs BENCH_OBS.json. With --golden FILE the deterministic counters
+// are checked against the committed golden (the CI perf-smoke gate);
+// --write-golden regenerates it.
+//
+// Usage:
+//   bench_obs [--reps N] [--budget FRACTION] [--no-gate] [--out FILE]
+//             [--golden FILE] [--write-golden FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/scenario.hpp"
+#include "core/testbed.hpp"
+#include "features/extractor.hpp"
+#include "ml/kmeans.hpp"
+#include "net/simulator.hpp"
+#include "obs/flight.hpp"
+#include "obs/latency.hpp"
+#include "util/logging.hpp"
+
+using namespace ddoshield;
+
+namespace {
+
+constexpr std::uint64_t kScenarioSeed = 42;
+constexpr std::size_t kDevices = 10;
+constexpr std::int64_t kSimSeconds = 4;
+
+struct RunResult {
+  bool flight_on = false;
+  double wall_seconds = 0.0;
+  double packets_per_sec = 0.0;
+  // Deterministic across reps and machines.
+  std::uint64_t events_total = 0;
+  std::uint64_t packets_total = 0;
+  std::uint64_t flight_recorded = 0;
+  std::uint64_t flight_overwritten = 0;
+};
+
+// Same shape as bench_scale's sweep scenario: dense benign mix plus a
+// spoofed flood cycle, so the per-packet flight sites (link enqueue/tx/rx,
+// tap) dominate the run.
+core::Scenario make_obs_scenario() {
+  core::Scenario s = core::detection_scenario(kScenarioSeed);
+  s.device_count = kDevices;
+  s.duration = util::SimTime::seconds(kSimSeconds);
+  s.infection_start = util::SimTime::millis(200);
+  s.benign.http_session_rate = 2.0;
+  s.benign.video_session_rate = 0.3;
+  s.benign.ftp_session_rate = 0.2;
+  s.attacks.clear();
+  core::schedule_attack_cycle(s, util::SimTime::millis(800), s.duration,
+                              /*burst=*/util::SimTime::millis(900),
+                              /*gap=*/util::SimTime::millis(300),
+                              {botnet::AttackType::kSynFlood, botnet::AttackType::kUdpFlood,
+                               botnet::AttackType::kAckFlood},
+                              /*pps_per_bot=*/2500.0);
+  s.churn.events_per_device_per_second = 0.0;
+  return s;
+}
+
+RunResult run_once(bool flight_on, const ml::Classifier& model) {
+  auto& flight = obs::FlightRecorder::global();
+  // configure() clears the ring and its per-run counters; the ring is
+  // sized so a full rep never wraps and flight_recorded stays exact.
+  flight.configure(obs::FlightConfig{.capacity = 1u << 16, .sample_every = 16});
+  flight.set_enabled(flight_on);
+
+  core::Testbed tb{make_obs_scenario()};
+  tb.deploy();
+  tb.deploy_ids(model);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  tb.run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.flight_on = flight_on;
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.events_total = tb.network().simulator().events_executed();
+  r.packets_total = tb.tap().packets_captured();
+  r.flight_recorded = flight.recorded();
+  r.flight_overwritten = flight.overwritten();
+  r.packets_per_sec = static_cast<double>(r.packets_total) /
+                      (r.wall_seconds > 0 ? r.wall_seconds : 1e-9);
+  flight.set_enabled(false);
+  return r;
+}
+
+std::unique_ptr<ml::Classifier> train_model() {
+  core::Scenario train = core::training_scenario(/*seed=*/1);
+  train.device_count = 6;
+  train.duration = util::SimTime::seconds(12);
+  std::fprintf(stderr, "[setup] training kmeans on a %zu-device %.0f s capture...\n",
+               train.device_count, train.duration.to_seconds());
+  const core::GenerationResult gen = core::run_generation(train);
+  const features::FeatureMatrix fm = features::extract_features(gen.dataset);
+  ml::DesignMatrix x;
+  std::vector<int> y;
+  core::to_design_matrix(fm, x, y);
+  auto model = std::make_unique<ml::KMeansDetector>();
+  model->fit(x, y);
+  return model;
+}
+
+void write_json(const std::string& path, const std::vector<RunResult>& runs,
+                const RunResult& best_off, const RunResult& best_on, double budget) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"bench_obs\",\n  \"config\": {\n";
+  out << "    \"devices\": " << kDevices << ", \"sim_seconds\": " << kSimSeconds
+      << ", \"scenario_seed\": " << kScenarioSeed << ",\n";
+  out << "    \"flight\": {\"capacity\": 65536, \"sample_every\": 16},\n";
+  out << "    \"overhead_budget\": " << budget << ",\n";
+  out << "    \"notes\": \"flight on/off reps interleave in one process; the gate "
+         "compares best-of reps, so only the relative overhead matters. "
+         "events_total/packets_total/flight_recorded are deterministic and "
+         "golden-pinned; *_per_sec is machine-dependent.\"\n  },\n";
+  out << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"flight\": %s, \"wall_seconds\": %.3f, \"packets_per_sec\": %.0f, "
+                  "\"events_total\": %llu, \"packets_total\": %llu, "
+                  "\"flight_recorded\": %llu}%s\n",
+                  r.flight_on ? "true" : "false", r.wall_seconds, r.packets_per_sec,
+                  static_cast<unsigned long long>(r.events_total),
+                  static_cast<unsigned long long>(r.packets_total),
+                  static_cast<unsigned long long>(r.flight_recorded),
+                  i + 1 < runs.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+  const double overhead = best_off.packets_per_sec > 0
+                              ? 1.0 - best_on.packets_per_sec / best_off.packets_per_sec
+                              : 0.0;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"comparison\": {\"off_packets_per_sec\": %.0f, "
+                "\"on_packets_per_sec\": %.0f, \"overhead_fraction\": %.4f}\n",
+                best_off.packets_per_sec, best_on.packets_per_sec, overhead);
+  out << buf << "}\n";
+
+  std::ofstream file{path};
+  file << out.str();
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// Golden format: one "events_total packets_total flight_recorded" line
+// ('#' lines are comments). flight_recorded comes from flight-on reps.
+int check_golden(const std::string& path, const RunResult& off, const RunResult& on) {
+  std::ifstream file{path};
+  if (!file) {
+    std::fprintf(stderr, "GOLDEN FAIL: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream in{line};
+    std::uint64_t events = 0, packets = 0, recorded = 0;
+    if (!(in >> events >> packets >> recorded)) {
+      std::fprintf(stderr, "GOLDEN FAIL: malformed line '%s'\n", line.c_str());
+      return 1;
+    }
+    if (off.events_total != events || off.packets_total != packets ||
+        on.flight_recorded != recorded) {
+      std::fprintf(stderr,
+                   "GOLDEN FAIL: expected events=%llu packets=%llu flight_recorded=%llu, "
+                   "got events=%llu packets=%llu flight_recorded=%llu\n",
+                   static_cast<unsigned long long>(events),
+                   static_cast<unsigned long long>(packets),
+                   static_cast<unsigned long long>(recorded),
+                   static_cast<unsigned long long>(off.events_total),
+                   static_cast<unsigned long long>(off.packets_total),
+                   static_cast<unsigned long long>(on.flight_recorded));
+      return 1;
+    }
+    std::printf("golden OK: counters match %s\n", path.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "GOLDEN FAIL: %s contains no counter line\n", path.c_str());
+  return 1;
+}
+
+void write_golden(const std::string& path, const RunResult& off, const RunResult& on) {
+  std::ofstream file{path};
+  file << "# bench_obs deterministic counters: events_total packets_total flight_recorded\n";
+  file << "# Regenerate with: bench_obs --write-golden <this file>\n";
+  file << off.events_total << " " << off.packets_total << " " << on.flight_recorded << "\n";
+  std::printf("wrote golden %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  util::Logger::instance().set_level(util::LogLevel::kWarn);
+
+  int reps = 3;
+  double budget = 0.05;
+  bool gate = true;
+  std::string out_path = "BENCH_OBS.json";
+  std::string golden_path;
+  std::string write_golden_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--reps") {
+      reps = std::max(1, std::atoi(next().c_str()));
+    } else if (arg == "--budget") {
+      budget = std::atof(next().c_str());
+    } else if (arg == "--no-gate") {
+      gate = false;
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--golden") {
+      golden_path = next();
+    } else if (arg == "--write-golden") {
+      write_golden_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_obs [--reps N] [--budget FRACTION] [--no-gate] "
+                   "[--out FILE] [--golden FILE] [--write-golden FILE]\n");
+      return 2;
+    }
+  }
+
+  const auto model = train_model();
+
+  std::vector<RunResult> runs;
+  RunResult best_off, best_on;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const bool flight_on : {false, true}) {
+      runs.push_back(run_once(flight_on, *model));
+      const RunResult& r = runs.back();
+      std::printf("[rep %d] flight=%s wall=%.3fs packets/s=%.0f packets=%llu "
+                  "flight_recorded=%llu\n",
+                  rep, flight_on ? "on " : "off", r.wall_seconds, r.packets_per_sec,
+                  static_cast<unsigned long long>(r.packets_total),
+                  static_cast<unsigned long long>(r.flight_recorded));
+      RunResult& best = flight_on ? best_on : best_off;
+      if (best.packets_per_sec < r.packets_per_sec) best = r;
+    }
+  }
+
+  // Behaviour invariance: the recorder observes, it must not perturb. Any
+  // divergence in the simulation's own counters is a hard failure before
+  // any throughput talk.
+  int exit_code = 0;
+  for (const RunResult& r : runs) {
+    if (r.events_total != runs[0].events_total || r.packets_total != runs[0].packets_total) {
+      std::fprintf(stderr,
+                   "DETERMINISM FAIL: flight=%s run saw events=%llu packets=%llu, "
+                   "expected events=%llu packets=%llu\n",
+                   r.flight_on ? "on" : "off",
+                   static_cast<unsigned long long>(r.events_total),
+                   static_cast<unsigned long long>(r.packets_total),
+                   static_cast<unsigned long long>(runs[0].events_total),
+                   static_cast<unsigned long long>(runs[0].packets_total));
+      exit_code = 1;
+    }
+    if (r.flight_on && r.flight_overwritten != 0) {
+      std::fprintf(stderr, "RING FAIL: %llu events overwritten; grow the bench ring\n",
+                   static_cast<unsigned long long>(r.flight_overwritten));
+      exit_code = 1;
+    }
+  }
+
+  const double floor = best_off.packets_per_sec * (1.0 - budget);
+  std::printf("best off=%.0f pkts/s, best on=%.0f pkts/s (floor %.0f, budget %.0f%%)\n",
+              best_off.packets_per_sec, best_on.packets_per_sec, floor, budget * 100.0);
+  if (gate && best_on.packets_per_sec < floor && exit_code == 0) {
+    std::fprintf(stderr, "OVERHEAD FAIL: flight-on throughput %.0f below %.2f of off %.0f\n",
+                 best_on.packets_per_sec, 1.0 - budget, best_off.packets_per_sec);
+    exit_code = 1;
+  }
+
+  write_json(out_path, runs, best_off, best_on, budget);
+  if (!write_golden_path.empty()) write_golden(write_golden_path, best_off, best_on);
+  if (!golden_path.empty() && exit_code == 0) {
+    exit_code = check_golden(golden_path, best_off, best_on);
+  }
+  return exit_code;
+}

@@ -11,11 +11,19 @@
 // Pass --trace[=path] to record a sim-time trace of the detection runs
 // (IDS windows + sampled gauges) and write it as Chrome trace_event JSON
 // (default quickstart_trace.json); open it at chrome://tracing.
+//
+// Pass --flight-dump[=path] to fly with the black box armed: the flight
+// recorder samples packet/window lifecycle stages throughout, crash
+// handlers write the last events + a final metrics snapshot to the dump
+// path (default flight_dump.json) if anything dies, and a clean run
+// writes the same dump at exit. With --trace too, flight events are
+// merged into the Chrome timeline under the "flight" category.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/pipeline.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 
@@ -26,14 +34,25 @@ int main(int argc, char** argv) {
   util::Logger::instance().set_level(util::LogLevel::kWarn);
 
   std::string trace_path;
+  std::string flight_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       trace_path = "quickstart_trace.json";
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--flight-dump") == 0) {
+      flight_path = "flight_dump.json";
+    } else if (std::strncmp(argv[i], "--flight-dump=", 14) == 0) {
+      flight_path = argv[i] + 14;
     }
   }
   if (!trace_path.empty()) obs::TraceRecorder::global().set_enabled(true);
+  auto& flight = obs::FlightRecorder::global();
+  if (!flight_path.empty()) {
+    flight.set_enabled(true);
+    flight.arm_dump(flight_path);
+    flight.install_crash_handlers();
+  }
 
   // --- 1. dataset generation ------------------------------------------------
   core::Scenario gen = core::training_scenario(/*seed=*/1);
@@ -66,11 +85,20 @@ int main(int argc, char** argv) {
   }
   if (!trace_path.empty()) {
     auto& trace = obs::TraceRecorder::global();
+    if (!flight_path.empty()) flight.export_to_trace(trace);
     if (trace.write_chrome_trace_file(trace_path)) {
       std::printf("\nTrace (%zu events) written to %s — open chrome://tracing and load it.\n",
                   trace.size(), trace_path.c_str());
     } else {
       std::printf("\nWARNING: could not write trace file %s\n", trace_path.c_str());
+    }
+  }
+  if (!flight_path.empty()) {
+    // Nothing crashed: the armed dump is still pending, so write it now as
+    // the run's latency post-mortem (detect-lag percentiles included).
+    if (flight.dump_if_armed("clean exit")) {
+      std::printf("Flight dump (%zu events) written to %s\n", flight.size(),
+                  flight_path.c_str());
     }
   }
   std::printf("\nDone. See bench/ for the full paper-scale reproductions.\n");

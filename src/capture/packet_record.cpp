@@ -20,6 +20,7 @@ PacketRecord PacketRecord::from_packet(const net::Packet& pkt, util::SimTime at)
   r.wire_bytes = pkt.wire_bytes();
   r.origin = pkt.origin;
   r.label = net::traffic_class_of(pkt.origin);
+  r.uid = pkt.uid;
   return r;
 }
 

@@ -28,6 +28,11 @@ struct PacketRecord {
   net::TrafficClass label = net::TrafficClass::kBenign;
   net::TrafficOrigin origin = net::TrafficOrigin::kInfrastructure;
 
+  /// Simulator packet uid, carried through so the IDS can correlate flight
+  /// recorder stages. In-memory only: the 12-field CSV format is pinned by
+  /// exported datasets, so the uid is 0 for records read back from CSV.
+  std::uint64_t uid = 0;
+
   static PacketRecord from_packet(const net::Packet& pkt, util::SimTime at);
 
   bool is_tcp() const { return protocol == 6; }

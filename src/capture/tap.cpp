@@ -1,5 +1,7 @@
 #include "capture/tap.hpp"
 
+#include "obs/flight.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 
 namespace ddoshield::capture {
@@ -7,7 +9,9 @@ namespace ddoshield::capture {
 PacketTap::PacketTap(TapConfig config)
     : config_{config},
       m_packets_{&obs::MetricsRegistry::global().counter("capture.tap.packets")},
-      m_dropped_{&obs::MetricsRegistry::global().counter("capture.tap.dropped")} {}
+      m_dropped_{&obs::MetricsRegistry::global().counter("capture.tap.dropped")},
+      flight_{&obs::FlightRecorder::global()},
+      lat_tap_ns_{&obs::LatencyTracker::global().series("flight.capture.tap_lag_ns")} {}
 
 void PacketTap::attach_to(net::Node& node) {
   node.add_tap([this, &node](const net::Packet& pkt, net::TapDirection dir) {
@@ -33,6 +37,12 @@ void PacketTap::on_packet(const net::Packet& pkt, net::TapDirection dir, net::No
   }
   ++packets_captured_;
   m_packets_->inc();
+  if (flight_->sampled(pkt.uid)) {
+    const util::SimTime now = node.simulator().now();
+    flight_->record(obs::FlightStage::kCaptureTap, pkt.uid, now.ns(), 0,
+                    pkt.wire_bytes());
+    lat_tap_ns_->observe(static_cast<std::uint64_t>((now - pkt.sent_at).ns()));
+  }
   // Counting semantics above are load-bearing (bench goldens); only the
   // record construction is skippable when nobody is listening.
   if (sinks_.empty()) return;

@@ -16,6 +16,8 @@
 
 namespace ddoshield::obs {
 class Counter;
+class FlightRecorder;
+class LogLinearHistogram;
 }
 
 namespace ddoshield::capture {
@@ -58,6 +60,11 @@ class PacketTap {
   std::uint64_t packets_captured_ = 0;
   obs::Counter* m_packets_;  // aggregate "capture.tap.packets"
   obs::Counter* m_dropped_;  // "capture.tap.dropped": seen while paused
+
+  // Flight-recorder wiring: the capture-tap stage of sampled packets and
+  // the send-to-tap lag series feeding the IDS ingress attribution.
+  obs::FlightRecorder* flight_;
+  obs::LogLinearHistogram* lat_tap_ns_;
 };
 
 }  // namespace ddoshield::capture

@@ -40,7 +40,7 @@ InferenceEngine::~InferenceEngine() {
 
 std::uint64_t InferenceEngine::submit(ml::DesignMatrix x) {
   const std::size_t rows = x.rows();
-  Job job{submitted_, std::move(x)};
+  Job job{submitted_, now_ns(), std::move(x)};
   if (!jobs_.try_push(std::move(job))) {
     // Ring full: the scoring thread is behind. Never drop a window —
     // count the stall once and yield until a slot frees. (A failed
@@ -138,6 +138,7 @@ void InferenceEngine::worker_loop() {
     res.seq = job.seq;
     res.verdicts = verdicts;
     res.inference_ns = t1 - t0;
+    res.queue_wait_ns = t0 > job.submit_wall_ns ? t0 - job.submit_wall_ns : 0;
     rows_scored_.inc(res.verdicts.size());
     completed_.inc();
     if (!overflow.empty() || !results_.try_push(std::move(res))) {

@@ -45,6 +45,10 @@ struct InferResult {
   std::uint64_t seq = 0;
   ml::Verdicts verdicts;
   std::uint64_t inference_ns = 0;  // worker-side wall time for the batch
+  /// Wall time the job sat in the ring before the worker picked it up
+  /// (submit stamp to batch start) — the flight recorder's ring-wait
+  /// series, reconcilable against the backpressure counters.
+  std::uint64_t queue_wait_ns = 0;
 };
 
 class InferenceEngine {
@@ -85,6 +89,7 @@ class InferenceEngine {
  private:
   struct Job {
     std::uint64_t seq = 0;
+    std::uint64_t submit_wall_ns = 0;
     ml::DesignMatrix x;
   };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "features/schema.hpp"
+#include "obs/flight.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -33,6 +35,14 @@ RealTimeIds::RealTimeIds(container::Container& owner, util::Rng rng,
   m_verdict_benign_ = &reg.counter("ids.verdict.benign");
   m_windows_ = &reg.counter("ids.windows_closed");
   m_backlog_ = &reg.gauge("ids.window_backlog");
+
+  flight_ = &obs::FlightRecorder::global();
+  auto& lat = obs::LatencyTracker::global();
+  lat_detect_benign_ = &lat.series("flight." + model_.name() + ".detect_lag_ns.benign");
+  lat_detect_attack_ = &lat.series("flight." + model_.name() + ".detect_lag_ns.attack");
+  lat_infer_batch_ = &lat.series("flight.ids.infer_batch_ns");
+  lat_infer_wait_ = &lat.series("flight.ids.infer_wait_ns");
+  lat_ring_wait_ = &lat.series("flight.ids.ring_wait_ns");
 }
 
 void RealTimeIds::attach_tap(capture::PacketTap& tap) {
@@ -61,6 +71,12 @@ void RealTimeIds::schedule_tick() {
 
 void RealTimeIds::on_record(const capture::PacketRecord& record) {
   buffer_.push_back(record);
+  if (flight_->sampled(record.uid)) {
+    // Sim clock at hand-over, not record.timestamp: the tap may add a
+    // capture clock offset that the detection-lag series must not absorb.
+    window_samples_.push_back(
+        WindowSample{record.uid, sim().now().ns(), record.is_malicious()});
+  }
   buffer_peak_bytes_ = std::max<std::uint64_t>(
       buffer_peak_bytes_, buffer_.capacity() * sizeof(capture::PacketRecord));
   m_backlog_->set(static_cast<double>(buffer_.size()));
@@ -90,16 +106,36 @@ void RealTimeIds::close_window() {
   }
   pending.truths.reserve(buffer_.size());
   for (const auto& r : buffer_) pending.truths.push_back(r.is_malicious() ? 1 : 0);
+  pending.samples = std::move(window_samples_);
+  window_samples_.clear();
 
+  const std::size_t rows = buffer_.size();
   buffer_.clear();
   m_backlog_->set(0.0);
 
+  pending.close_sim_ns = sim().now().ns();
+  pending.close_wall_ns = flight_->wall_now_ns();
+  if (flight_->enabled()) {
+    flight_->record(obs::FlightStage::kWindowClose, report.window_index,
+                    pending.close_sim_ns, pending.close_wall_ns, report.packets);
+  }
+
   // --- detection: batched inference over the window's matrix --------------
   if (engine_) {
+    pending.submit_wall_ns = flight_->wall_now_ns();
+    if (flight_->enabled()) {
+      flight_->record(obs::FlightStage::kInferSubmit, report.window_index,
+                      sim().now().ns(), pending.submit_wall_ns, rows);
+    }
     pending_.push_back(std::move(pending));
     engine_->submit(std::move(x));
     drain_completed(/*block=*/false);
     return;
+  }
+  pending.submit_wall_ns = flight_->wall_now_ns();
+  if (flight_->enabled()) {
+    flight_->record(obs::FlightStage::kInferSubmit, report.window_index,
+                    sim().now().ns(), pending.submit_wall_ns, rows);
   }
   std::uint64_t inference_ns = 0;
   ml::Verdicts verdicts;
@@ -107,11 +143,11 @@ void RealTimeIds::close_window() {
     obs::ScopedTimer timer{inference_ns};
     model_.score_batch(x, verdicts);
   }
-  finalize_window(std::move(pending), verdicts, inference_ns);
+  finalize_window(std::move(pending), verdicts, inference_ns, /*queue_wait_ns=*/0);
 }
 
 void RealTimeIds::finalize_window(PendingWindow&& pending, const ml::Verdicts& verdicts,
-                                  std::uint64_t inference_ns) {
+                                  std::uint64_t inference_ns, std::uint64_t queue_wait_ns) {
   WindowReport report = pending.report;
   report.cpu_inference_ns = inference_ns;
   m_inference_ns_->observe(inference_ns);
@@ -135,6 +171,38 @@ void RealTimeIds::finalize_window(PendingWindow&& pending, const ml::Verdicts& v
   meter_.on_window_closed(report.window_index, report.cpu_feature_ns, report.cpu_inference_ns,
                           static_cast<std::uint64_t>(config_.window.ns()));
 
+  if (flight_->enabled()) {
+    const std::int64_t verdict_wall = flight_->wall_now_ns();
+    flight_->record(obs::FlightStage::kInferComplete, report.window_index,
+                    sim().now().ns(), verdict_wall, verdicts.size());
+    flight_->record(obs::FlightStage::kVerdict, report.window_index, sim().now().ns(),
+                    verdict_wall, report.predicted_malicious);
+
+    // Stage attribution. The batch kernel's own time and any wait around
+    // it (ring sit + result sit in offload mode; ~0 inline) come from the
+    // wall clock; the end-to-end detection lag of each sampled packet
+    // composes a sim-domain part (tap to window close — queueing plus
+    // buffering, deterministic) with a wall-domain part (window close to
+    // verdict — the real compute cost the simulation never models).
+    lat_infer_batch_->observe(inference_ns);
+    if (queue_wait_ns > 0) lat_ring_wait_->observe(queue_wait_ns);
+    const std::int64_t around =
+        verdict_wall > pending.submit_wall_ns ? verdict_wall - pending.submit_wall_ns : 0;
+    const std::uint64_t wait =
+        static_cast<std::uint64_t>(around) > inference_ns
+            ? static_cast<std::uint64_t>(around) - inference_ns
+            : 0;
+    lat_infer_wait_->observe(wait);
+    const std::int64_t wall_part =
+        verdict_wall > pending.close_wall_ns ? verdict_wall - pending.close_wall_ns : 0;
+    for (const WindowSample& s : pending.samples) {
+      const std::int64_t sim_part =
+          pending.close_sim_ns > s.tap_sim_ns ? pending.close_sim_ns - s.tap_sim_ns : 0;
+      const std::uint64_t lag = static_cast<std::uint64_t>(sim_part + wall_part);
+      (s.malicious ? lat_detect_attack_ : lat_detect_benign_)->observe(lag);
+    }
+  }
+
   auto& trace = obs::TraceRecorder::global();
   if (trace.enabled()) {
     trace.span("ids.window." + model_.name(), "ids", report.window_start, config_.window);
@@ -154,7 +222,8 @@ void RealTimeIds::drain_completed(bool block) {
     // oldest pending window is always the one this result scores.
     PendingWindow pending = std::move(pending_.front());
     pending_.pop_front();
-    finalize_window(std::move(pending), result.verdicts, result.inference_ns);
+    finalize_window(std::move(pending), result.verdicts, result.inference_ns,
+                    result.queue_wait_ns);
   }
   engine_->publish_metrics();
 }

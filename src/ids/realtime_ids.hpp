@@ -27,6 +27,8 @@ namespace ddoshield::obs {
 class Counter;
 class Gauge;
 class Histogram;
+class FlightRecorder;
+class LogLinearHistogram;
 }
 
 namespace ddoshield::ids {
@@ -83,6 +85,10 @@ class RealTimeIds : public apps::App {
   /// "ids.window_backlog" probe).
   std::size_t window_backlog() const { return buffer_.size(); }
 
+  /// The offload engine, or null in inline mode (tests reconcile its
+  /// backpressure stats against the flight recorder's wait series).
+  const InferenceEngine* engine() const { return engine_.get(); }
+
   /// Closes the current partial window (end of run).
   void flush();
 
@@ -91,11 +97,23 @@ class RealTimeIds : public apps::App {
   void on_stop() override;
 
  private:
+  /// A uid-sampled packet awaiting its window's verdict; the flight
+  /// recorder's end-to-end detection lag is measured over these.
+  struct WindowSample {
+    std::uint64_t uid = 0;
+    std::int64_t tap_sim_ns = 0;  // sim clock when the tap handed it over
+    bool malicious = false;       // ground truth, selects the lag series
+  };
+
   /// One window whose features are computed but whose verdicts are still
   /// on the scoring thread (offload mode).
   struct PendingWindow {
     WindowReport report;      // everything but the verdict-derived fields
     std::vector<int> truths;  // ground-truth label per row
+    std::vector<WindowSample> samples;
+    std::int64_t close_sim_ns = 0;   // sim clock at window close
+    std::int64_t close_wall_ns = 0;  // wall clock at window close
+    std::int64_t submit_wall_ns = 0; // wall clock at inference submit
   };
 
   void on_record(const capture::PacketRecord& record);
@@ -103,7 +121,7 @@ class RealTimeIds : public apps::App {
   void schedule_tick();
   /// Fills in the verdict-derived report fields and commits the report.
   void finalize_window(PendingWindow&& pending, const ml::Verdicts& verdicts,
-                       std::uint64_t inference_ns);
+                       std::uint64_t inference_ns, std::uint64_t queue_wait_ns);
   /// Collects completed offload results in submission order; with block
   /// set, waits until none are outstanding.
   void drain_completed(bool block);
@@ -114,6 +132,7 @@ class RealTimeIds : public apps::App {
   std::unique_ptr<InferenceEngine> engine_;
   std::deque<PendingWindow> pending_;
   std::vector<capture::PacketRecord> buffer_;
+  std::vector<WindowSample> window_samples_;  // sampled uids in the open window
   std::uint64_t buffer_peak_bytes_ = 0;
   std::uint64_t current_window_ = 0;
   std::vector<WindowReport> reports_;
@@ -128,6 +147,15 @@ class RealTimeIds : public apps::App {
   obs::Counter* m_verdict_benign_;
   obs::Counter* m_windows_;
   obs::Gauge* m_backlog_;
+
+  // Flight-recorder wiring: window lifecycle events plus the latency
+  // series split per model and per traffic class.
+  obs::FlightRecorder* flight_;
+  obs::LogLinearHistogram* lat_detect_benign_;  // flight.<model>.detect_lag_ns.benign
+  obs::LogLinearHistogram* lat_detect_attack_;  // flight.<model>.detect_lag_ns.attack
+  obs::LogLinearHistogram* lat_infer_batch_;    // flight.ids.infer_batch_ns
+  obs::LogLinearHistogram* lat_infer_wait_;     // flight.ids.infer_wait_ns
+  obs::LogLinearHistogram* lat_ring_wait_;      // flight.ids.ring_wait_ns
 };
 
 }  // namespace ddoshield::ids

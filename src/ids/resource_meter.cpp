@@ -23,6 +23,7 @@ ResourceMeter::ResourceMeter(const std::string& model_name, ResourceMeterConfig 
   auto& reg = obs::MetricsRegistry::global();
   m_cpu_percent_ = &reg.gauge("ids." + model_name + ".cpu_percent");
   m_rss_kb_ = &reg.gauge("ids." + model_name + ".rss_kb");
+  m_rss_peak_kb_ = &reg.gauge("ids." + model_name + ".rss_peak_kb");
 }
 
 ResourceMeter::~ResourceMeter() {
@@ -52,17 +53,23 @@ void ResourceMeter::on_window_closed(std::uint64_t window_index, std::uint64_t f
                                      std::uint64_t inference_ns, std::uint64_t window_ns) {
   m_cpu_percent_->set(window_cpu_percent(feature_ns, inference_ns, window_ns));
   m_rss_kb_->set(static_cast<double>(sample_rss_kb(window_index)));
+  m_rss_peak_kb_->set(static_cast<double>(cached_peak_kb_));
 }
 
 std::uint64_t ResourceMeter::read_rss_kb() {
 #if defined(__linux__)
   if (status_fd_ >= 0) {
     // /proc/self/status regenerates on every read; pread from 0 on the
-    // cached descriptor avoids the open/close pair per sample.
+    // cached descriptor avoids the open/close pair per sample. VmHWM (the
+    // kernel's RSS high-water mark) sits in the same buffer, so the peak
+    // comes for free with the current-RSS sample.
     char buf[4096];
     const ssize_t n = ::pread(status_fd_, buf, sizeof(buf) - 1, 0);
     if (n > 0) {
       buf[n] = '\0';
+      if (const char* hwm = std::strstr(buf, "VmHWM:")) {
+        cached_peak_kb_ = std::strtoull(hwm + 6, nullptr, 10);  // field is in kB
+      }
       if (const char* line = std::strstr(buf, "VmRSS:")) {
         return std::strtoull(line + 6, nullptr, 10);  // field is in kB
       }
@@ -73,10 +80,14 @@ std::uint64_t ResourceMeter::read_rss_kb() {
   struct rusage ru{};
   if (::getrusage(RUSAGE_SELF, &ru) == 0) {
 #if defined(__APPLE__)
-    return static_cast<std::uint64_t>(ru.ru_maxrss) / 1024;  // bytes on macOS
+    const auto peak = static_cast<std::uint64_t>(ru.ru_maxrss) / 1024;  // bytes on macOS
 #else
-    return static_cast<std::uint64_t>(ru.ru_maxrss);  // KiB elsewhere
+    const auto peak = static_cast<std::uint64_t>(ru.ru_maxrss);  // KiB elsewhere
 #endif
+    if (peak > cached_peak_kb_) cached_peak_kb_ = peak;
+    // ru_maxrss is itself a peak, so without procfs the current-RSS probe
+    // degrades to the high-water mark — still monotone and honest.
+    return peak;
   }
 #endif
   return 0;

@@ -64,9 +64,11 @@ struct ResourceMeterConfig {
 /// a path walk per packet window. Where procfs is unavailable the probe
 /// falls back to getrusage(RUSAGE_SELF) peak RSS.
 ///
-/// Each window close publishes "ids.<model>.cpu_percent" and
-/// "ids.<model>.rss_kb" gauges, so per-model Table II figures land in the
-/// ddoshield-metrics-v1 snapshot alongside the latency histograms.
+/// Each window close publishes "ids.<model>.cpu_percent", "ids.<model>.rss_kb",
+/// and "ids.<model>.rss_peak_kb" gauges (peak = VmHWM, the kernel's RSS
+/// high-water mark, with a getrusage ru_maxrss fallback), so per-model
+/// Table II figures land in the metrics snapshot alongside the latency
+/// histograms.
 class ResourceMeter {
  public:
   ResourceMeter(const std::string& model_name, ResourceMeterConfig config);
@@ -84,6 +86,11 @@ class ResourceMeter {
   /// calls within a window return the cached value.
   std::uint64_t sample_rss_kb(std::uint64_t window_index);
 
+  /// Peak (high-water) RSS in KiB, refreshed by the same once-per-window
+  /// read that sample_rss_kb performs. VmHWM on Linux procfs; elsewhere
+  /// getrusage(RUSAGE_SELF).ru_maxrss.
+  std::uint64_t peak_rss_kb() const { return cached_peak_kb_; }
+
   /// Updates the per-model gauges for one closed window.
   void on_window_closed(std::uint64_t window_index, std::uint64_t feature_ns,
                         std::uint64_t inference_ns, std::uint64_t window_ns);
@@ -93,15 +100,19 @@ class ResourceMeter {
   std::uint64_t samples_taken() const { return samples_; }
 
  private:
+  /// One probe fills both current and peak RSS from a single procfs read
+  /// (or one getrusage call on the fallback path).
   std::uint64_t read_rss_kb();
 
   ResourceMeterConfig config_;
   int status_fd_ = -1;
   std::uint64_t last_sampled_window_ = ~0ull;
   std::uint64_t cached_rss_kb_ = 0;
+  std::uint64_t cached_peak_kb_ = 0;
   std::uint64_t samples_ = 0;
   obs::Gauge* m_cpu_percent_;
   obs::Gauge* m_rss_kb_;
+  obs::Gauge* m_rss_peak_kb_;
 };
 
 }  // namespace ddoshield::ids

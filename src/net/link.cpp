@@ -4,6 +4,8 @@
 
 #include "net/node.hpp"
 #include "net/simulator.hpp"
+#include "obs/flight.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 
 namespace ddoshield::net {
@@ -18,6 +20,10 @@ Link::Link(Simulator& sim, Node& a, Node& b, LinkConfig config)
   m_dropped_packets_ = &reg.counter("net.link.dropped_packets");
   m_dropped_bytes_ = &reg.counter("net.link.dropped_bytes");
   m_queue_bytes_ = &reg.gauge("net.link.queue_bytes");
+  flight_ = &obs::FlightRecorder::global();
+  auto& lat = obs::LatencyTracker::global();
+  lat_queue_ns_ = &lat.series("flight.net.queue_ns");
+  lat_transit_ns_ = &lat.series("flight.net.transit_ns");
   a.attach_link(*this);
   b.attach_link(*this);
 }
@@ -120,6 +126,17 @@ bool Link::transmit(const Node& from, Packet pkt) {
   m_tx_bytes_->inc(bytes);
   m_queue_bytes_->set(backlog_bytes + bytes);
 
+  if (flight_->sampled(pkt.uid)) {
+    // All three timestamps of this packet's wire life are known here, so
+    // the per-stage latency series fill in one place; the ring events are
+    // what a post-mortem dump replays. (Link rx is recorded at actual
+    // delivery below, so dumps never show phantom arrivals.)
+    flight_->record(obs::FlightStage::kNetEnqueue, pkt.uid, now.ns(), 0, bytes);
+    flight_->record(obs::FlightStage::kLinkTx, pkt.uid, start.ns());
+    lat_queue_ns_->observe(static_cast<std::uint64_t>((start - now).ns()));
+    lat_transit_ns_->observe(static_cast<std::uint64_t>((arrival - start).ns()));
+  }
+
   Node* peer = ends_[1 - index_of(from)];
   Direction* sender_dir = &dir;
   // The packet rides out its flight in a pool slot; the delivery closure
@@ -130,6 +147,10 @@ bool Link::transmit(const Node& from, Packet pkt) {
   sim_.post_at(arrival, [peer, sender_dir, slot, this] {
     if (up_) {
       ++sender_dir->stats.delivered_packets;
+      if (flight_->sampled(slot->uid)) {
+        flight_->record(obs::FlightStage::kLinkRx, slot->uid, sim_.now().ns(), 0,
+                        slot->wire_bytes());
+      }
       peer->deliver(std::move(*slot));
     } else {
       // The link went down while the packet was propagating: account the

@@ -20,6 +20,8 @@
 namespace ddoshield::obs {
 class Counter;
 class Gauge;
+class FlightRecorder;
+class LogLinearHistogram;
 }
 
 namespace ddoshield::net {
@@ -124,6 +126,12 @@ class Link {
   obs::Counter* m_dropped_packets_;
   obs::Counter* m_dropped_bytes_;
   obs::Gauge* m_queue_bytes_;
+
+  // Flight-recorder wiring: stage events for uid-sampled packets plus the
+  // per-stage latency series they feed (queue wait, wire transit).
+  obs::FlightRecorder* flight_;
+  obs::LogLinearHistogram* lat_queue_ns_;
+  obs::LogLinearHistogram* lat_transit_ns_;
 };
 
 }  // namespace ddoshield::net

@@ -4,6 +4,8 @@
 
 #include "net/tcp.hpp"
 #include "net/udp.hpp"
+#include "obs/flight.hpp"
+#include "obs/latency.hpp"
 #include "util/logging.hpp"
 
 namespace ddoshield::net {
@@ -28,6 +30,8 @@ Node::Node(Simulator& sim, std::string name, Ipv4Address addr)
   if (port_rng_state_ == 0) port_rng_state_ = 0x6b8b4567;
   udp_ = std::make_unique<UdpHost>(*this);
   tcp_ = std::make_unique<TcpHost>(*this);
+  flight_ = &obs::FlightRecorder::global();
+  lat_deliver_ns_ = &obs::LatencyTracker::global().series("flight.net.deliver_lag_ns");
 }
 
 Node::~Node() = default;
@@ -122,6 +126,11 @@ void Node::deliver(Packet pkt) {
     run_taps(pkt, TapDirection::kReceived);
     switch (pkt.proto) {
       case IpProto::kTcp:
+        if (flight_->sampled(pkt.uid)) {
+          const util::SimTime now = sim_.now();
+          flight_->record(obs::FlightStage::kTcpDeliver, pkt.uid, now.ns());
+          lat_deliver_ns_->observe(static_cast<std::uint64_t>((now - pkt.sent_at).ns()));
+        }
         tcp_->deliver(pkt);
         break;
       case IpProto::kUdp:

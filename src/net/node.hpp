@@ -18,6 +18,11 @@
 #include "net/packet.hpp"
 #include "net/simulator.hpp"
 
+namespace ddoshield::obs {
+class FlightRecorder;
+class LogLinearHistogram;
+}
+
 namespace ddoshield::net {
 
 class TcpHost;
@@ -127,6 +132,11 @@ class Node {
   NodeStats stats_;
   std::unique_ptr<UdpHost> udp_;
   std::unique_ptr<TcpHost> tcp_;
+
+  // Flight-recorder wiring for the local-delivery stage (send-to-deliver
+  // lag of uid-sampled packets terminating at this node).
+  obs::FlightRecorder* flight_;
+  obs::LogLinearHistogram* lat_deliver_ns_;
 };
 
 }  // namespace ddoshield::net

@@ -1,0 +1,58 @@
+#include "obs/latency.hpp"
+
+#include <algorithm>
+
+namespace ddoshield::obs {
+
+std::uint64_t LogLinearHistogram::bucket_floor(std::size_t i) {
+  if (i < 2 * kSub) return i;
+  const std::uint64_t shift = i / kSub - 1;
+  const std::uint64_t sub = i % kSub;
+  return (kSub + sub) << shift;
+}
+
+std::uint64_t LogLinearHistogram::bucket_width(std::size_t i) {
+  if (i < 2 * kSub) return 1;
+  return 1ull << (i / kSub - 1);
+}
+
+double LogLinearHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min());
+  if (q >= 1.0) return static_cast<double>(max_);
+
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      // Linear interpolation inside the sub-bucket by the fraction of its
+      // population below the target rank.
+      const double lo = static_cast<double>(bucket_floor(i));
+      const double width = static_cast<double>(bucket_width(i));
+      const double into = 1.0 - (static_cast<double>(seen) - target) /
+                                    static_cast<double>(buckets_[i]);
+      const double v = lo + width * into;
+      return std::min(std::max(v, static_cast<double>(min())), static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+LatencyTracker& LatencyTracker::global() {
+  static LatencyTracker tracker;
+  return tracker;
+}
+
+LogLinearHistogram& LatencyTracker::series(std::string_view name) {
+  auto it = series_.find(name);
+  if (it == series_.end()) it = series_.emplace(std::string{name}, LogLinearHistogram{}).first;
+  return it->second;
+}
+
+void LatencyTracker::reset() {
+  for (auto& [name, h] : series_) h.reset();
+}
+
+}  // namespace ddoshield::obs

@@ -1,0 +1,110 @@
+// Tail-latency tracking for the flight recorder (log-linear histograms).
+//
+// The registry's log2 Histogram answers order-of-magnitude questions; tail
+// percentiles need better resolution. LogLinearHistogram is the HDR-style
+// compromise: each power-of-two octave is subdivided into 32 linear
+// sub-buckets, so any recorded value is off by at most 1/32 (~3%) of
+// itself — tight enough that p999 is meaningful — while observe() stays a
+// branch, a shift, and an increment, with zero allocation.
+//
+// LatencyTracker is the named store for these histograms, mirroring
+// MetricsRegistry: components resolve their series once at construction
+// and keep raw pointers, so the hot path never does a map lookup. The
+// tracker is single-threaded by the same rule as the registry — only the
+// simulation thread observes into it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ddoshield::obs {
+
+/// Log-linear ("HDR-style") histogram over non-negative integer samples.
+/// Values below 2^(kSubBits+1) are recorded exactly; above that, each
+/// power-of-two range splits into kSub linear sub-buckets, bounding
+/// relative error by 1/kSub.
+class LogLinearHistogram {
+ public:
+  static constexpr int kSubBits = 5;                 // 32 sub-buckets per octave
+  static constexpr std::size_t kSub = 1u << kSubBits;
+  // Indices 0..2*kSub-1 are exact values; octaves 6..63 add kSub each.
+  static constexpr std::size_t kBucketCount = 2 * kSub + (63 - kSubBits) * kSub;
+
+  void observe(std::uint64_t v) {
+    ++buckets_[index_of(v)];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
+
+  /// Value at quantile q in [0, 1], linearly interpolated within the
+  /// winning sub-bucket and clamped to the observed [min, max].
+  double quantile(double q) const;
+
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
+
+  void reset() {
+    buckets_.fill(0);
+    count_ = sum_ = min_ = max_ = 0;
+  }
+
+  /// Inclusive lower edge of bucket i (exposed for tests).
+  static std::uint64_t bucket_floor(std::size_t i);
+  /// Width in value space of bucket i.
+  static std::uint64_t bucket_width(std::size_t i);
+  static std::size_t index_of(std::uint64_t v) {
+    if (v < 2 * kSub) return static_cast<std::size_t>(v);
+    const int msb = 63 - __builtin_clzll(v);
+    const int shift = msb - kSubBits;
+    return static_cast<std::size_t>(shift + 1) * kSub +
+           (static_cast<std::size_t>(v >> shift) & (kSub - 1));
+  }
+
+  const std::array<std::uint64_t, kBucketCount>& buckets() const { return buckets_; }
+
+ private:
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Named store of LogLinearHistograms, keyed like registry instruments
+/// ("flight.net.queue_ns", "flight.rf.detect_lag_ns.attack"). Node
+/// stability means cached pointers survive registration growth.
+class LatencyTracker {
+ public:
+  LatencyTracker() = default;
+  LatencyTracker(const LatencyTracker&) = delete;
+  LatencyTracker& operator=(const LatencyTracker&) = delete;
+
+  /// The process-wide tracker the flight-recorder wiring charges into.
+  static LatencyTracker& global();
+
+  LogLinearHistogram& series(std::string_view name);
+
+  const std::map<std::string, LogLinearHistogram, std::less<>>& all() const { return series_; }
+
+  /// Zeroes every series but keeps registrations (cached pointers stay
+  /// valid). Benches call this between phases.
+  void reset();
+
+ private:
+  std::map<std::string, LogLinearHistogram, std::less<>> series_;
+};
+
+}  // namespace ddoshield::obs

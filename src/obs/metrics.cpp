@@ -17,8 +17,12 @@ double Histogram::quantile(double q) const {
     if (static_cast<double>(seen) >= target) {
       // Log-interpolate between the bucket's bounds by the fraction of the
       // bucket's population below the target rank.
+      // Bucket i spans [2^i, 2^(i+1)). Compute the upper edge in floating
+      // point: for i == 63 the integer expression 1ull << 64 would
+      // overflow (and clamping it to 2^63 made hi == lo, degenerating the
+      // interpolation for the top bucket).
       const double lo = static_cast<double>(i == 0 ? 1 : (1ull << i));
-      const double hi = static_cast<double>(1ull << (i + 1 > 63 ? 63 : i + 1));
+      const double hi = std::ldexp(1.0, static_cast<int>(i) + 1);
       const double into = 1.0 - (static_cast<double>(seen) - target) /
                                     static_cast<double>(buckets_[i]);
       const double v = lo * std::pow(hi / lo, into);

@@ -93,6 +93,11 @@ class Histogram {
   /// Value at quantile q in [0, 1], log-interpolated within the bucket.
   double quantile(double q) const;
 
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
+
   const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
 
   /// Smallest sample value a bucket can hold (2^i; bucket 0 holds [0, 2)).

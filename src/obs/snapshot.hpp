@@ -1,26 +1,91 @@
 // JSON snapshot of a MetricsRegistry — the BENCH_*.json artifact format.
 //
-// Schema (documented in DESIGN.md "Observability"):
+// Two schema generations (DESIGN.md §11 documents the migration):
+//   v1 ("ddoshield-metrics-v1") — counters / gauges / histograms, with
+//     p50/p90/p99 per histogram. The PR-1 goldens pin these bytes.
+//   v2 ("ddoshield-metrics-v2") — v1 plus a "p999" field per histogram and
+//     a "latency" section carrying the flight-recorder LatencyTracker
+//     series (log-linear histograms with interpolated p50/p90/p99/p999).
+//
 //   {
-//     "schema": "ddoshield-metrics-v1",
+//     "schema": "ddoshield-metrics-v2",
 //     "counters":   { "<name>": <u64>, ... },
 //     "gauges":     { "<name>": {"value": <f>, "high_water": <f>}, ... },
 //     "histograms": { "<name>": {"count","sum","min","max","mean",
-//                                "p50","p90","p99"}, ... }
+//                                "p50","p90","p99"[,"p999"]}, ... },
+//     "latency":    { "<name>": {"count","sum","min","max","mean",
+//                                "p50","p90","p99","p999"}, ... }   // v2
 //   }
 // Names are emitted sorted, so two snapshots of the same run diff cleanly.
+// read_json_snapshot() accepts both generations, and rewriting what it
+// read reproduces the input byte-for-byte (%.17g doubles round-trip), so
+// v2-era tooling can ingest and regenerate v1 goldens unchanged.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 
 #include "obs/metrics.hpp"
 
 namespace ddoshield::obs {
 
-void write_json_snapshot(const MetricsRegistry& registry, std::ostream& out);
+class LatencyTracker;
+
+enum class SnapshotVersion {
+  kV1,  // legacy golden format: no p999, no latency section
+  kV2,  // current: p999 per histogram + latency section
+};
+
+/// Writes the registry as JSON. With kV2 and a non-null `latency`, the
+/// tracker's series are emitted in the "latency" section; a null tracker
+/// emits an empty section (the schema is stable either way).
+void write_json_snapshot(const MetricsRegistry& registry, std::ostream& out,
+                         SnapshotVersion version = SnapshotVersion::kV2,
+                         const LatencyTracker* latency = nullptr);
 
 /// Convenience file form. Returns false if the file cannot be opened.
-bool write_json_snapshot_file(const MetricsRegistry& registry, const std::string& path);
+bool write_json_snapshot_file(const MetricsRegistry& registry, const std::string& path,
+                              SnapshotVersion version = SnapshotVersion::kV2,
+                              const LatencyTracker* latency = nullptr);
+
+// --- parsed snapshot --------------------------------------------------------
+
+struct SnapshotGauge {
+  double value = 0.0;
+  double high_water = 0.0;
+};
+
+struct SnapshotHistogram {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;  // v2 only; 0 when absent
+};
+
+/// A snapshot read back from JSON. `schema` distinguishes v1 from v2;
+/// `latency` is empty for v1 inputs.
+struct SnapshotData {
+  std::string schema;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, SnapshotGauge> gauges;
+  std::map<std::string, SnapshotHistogram> histograms;
+  std::map<std::string, SnapshotHistogram> latency;
+};
+
+/// Parses a v1 or v2 snapshot. Returns false (and leaves `out` partially
+/// filled) on malformed input or an unknown schema tag.
+bool read_json_snapshot(std::istream& in, SnapshotData& out);
+bool read_json_snapshot_file(const std::string& path, SnapshotData& out);
+
+/// Re-serializes parsed data in its own schema generation: a v1 input
+/// rewrites byte-identically to the original file.
+void write_json_snapshot(const SnapshotData& data, std::ostream& out);
 
 }  // namespace ddoshield::obs

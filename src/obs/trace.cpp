@@ -5,6 +5,8 @@
 #include <map>
 #include <ostream>
 
+#include "obs/metrics.hpp"
+
 namespace ddoshield::obs {
 
 namespace {
@@ -51,21 +53,30 @@ TraceRecorder& TraceRecorder::global() {
   return recorder;
 }
 
+bool TraceRecorder::admit() {
+  if (events_.size() < budget_) return true;
+  ++dropped_;
+  if (!dropped_counter_)
+    dropped_counter_ = &MetricsRegistry::global().counter("trace.dropped_events");
+  dropped_counter_->inc();
+  return false;
+}
+
 void TraceRecorder::span(std::string_view name, std::string_view category,
                          util::SimTime start, util::SimTime duration) {
-  if (!enabled_) return;
+  if (!enabled_ || !admit()) return;
   events_.push_back(Event{'X', std::string{name}, std::string{category}, start.ns(),
                           duration.ns(), 0.0});
 }
 
 void TraceRecorder::instant(std::string_view name, std::string_view category,
                             util::SimTime at) {
-  if (!enabled_) return;
+  if (!enabled_ || !admit()) return;
   events_.push_back(Event{'i', std::string{name}, std::string{category}, at.ns(), 0, 0.0});
 }
 
 void TraceRecorder::counter(std::string_view name, util::SimTime at, double value) {
-  if (!enabled_) return;
+  if (!enabled_ || !admit()) return;
   events_.push_back(Event{'C', std::string{name}, "counters", at.ns(), 0, value});
 }
 

@@ -21,6 +21,8 @@
 
 namespace ddoshield::obs {
 
+class Counter;
+
 class TraceRecorder {
  public:
   TraceRecorder() = default;
@@ -33,6 +35,14 @@ class TraceRecorder {
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  /// Caps the number of buffered events. Once full the recorder drops new
+  /// events (counting them in `trace.dropped_events`) instead of growing
+  /// without bound — long fuzz runs used to OOM the recorder. 0 means
+  /// drop everything; the default is 1M events (~80 MB worst case).
+  void set_event_budget(std::size_t budget) { budget_ = budget; }
+  std::size_t event_budget() const { return budget_; }
+  std::uint64_t dropped_events() const { return dropped_; }
+
   /// Records a complete span [start, start + duration] ("ph":"X").
   void span(std::string_view name, std::string_view category, util::SimTime start,
             util::SimTime duration);
@@ -44,7 +54,10 @@ class TraceRecorder {
   void counter(std::string_view name, util::SimTime at, double value);
 
   std::size_t size() const { return events_.size(); }
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
 
   /// Writes the whole trace as Chrome trace_event JSON; events are sorted
   /// by timestamp so `ts` is monotonic in the output.
@@ -63,7 +76,13 @@ class TraceRecorder {
     double value;         // counters only
   };
 
+  /// True when there is room for one more event; otherwise counts a drop.
+  bool admit();
+
   bool enabled_ = false;
+  std::size_t budget_ = 1u << 20;
+  std::uint64_t dropped_ = 0;
+  Counter* dropped_counter_ = nullptr;  // resolved lazily on first drop
   std::vector<Event> events_;
 };
 

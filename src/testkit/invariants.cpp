@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/snapshot.hpp"
 
@@ -38,6 +39,12 @@ InvariantChecker::InvariantChecker(net::Simulator& sim) : sim_{sim} {}
 
 void InvariantChecker::violation(std::string msg) {
   ++report_.total_violations;
+  if (report_.total_violations == 1) {
+    // First violation: snapshot the flight recorder's ring while the crash
+    // site is still fresh (no-op unless a dump path is armed). Later
+    // violations would only overwrite the interesting events.
+    obs::FlightRecorder::global().dump_if_armed(msg);
+  }
   if (report_.violations.size() < kMaxStoredViolations) {
     report_.violations.push_back(std::move(msg));
   }
@@ -214,8 +221,8 @@ std::uint64_t InvariantChecker::check_metrics(const obs::MetricsRegistry& regist
   if (first.str() != second.str()) {
     add("metrics: snapshot not byte-idempotent");
   }
-  if (first.str().find("\"schema\": \"ddoshield-metrics-v1\"") == std::string::npos) {
-    add("metrics: snapshot missing ddoshield-metrics-v1 schema tag");
+  if (first.str().find("\"schema\": \"ddoshield-metrics-v2\"") == std::string::npos) {
+    add("metrics: snapshot missing ddoshield-metrics-v2 schema tag");
   }
   return found;
 }

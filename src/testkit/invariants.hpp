@@ -20,7 +20,10 @@
 //     the global obs counters over the watch window.
 //   * Metrics self-consistency: histogram count == sum of buckets,
 //     min <= mean <= max, ordered quantiles, gauge high-water >= value,
-//     and a byte-idempotent "ddoshield-metrics-v1" snapshot.
+//     and a byte-idempotent "ddoshield-metrics-v2" snapshot.
+//
+// The first violation also triggers obs::FlightRecorder::dump_if_armed,
+// so an armed run leaves a flight_dump.json next to the failure.
 //
 // Sequence-number comparisons use RFC 1982 serial arithmetic, so legality
 // holds across 32-bit wrap. A SYN carrying a new ISS on an already-seen

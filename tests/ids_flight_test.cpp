@@ -1,0 +1,247 @@
+// Offload-mode latency attribution: the flight recorder's window stages
+// and the LatencyTracker's infer-ring/batch series must reconcile with the
+// InferenceEngine's own counters on a seeded run — every completed batch
+// is accounted for, ring waits show up exactly when the engine reports
+// backpressure-prone queueing, and the per-packet detect-lag series covers
+// every tapped packet.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "capture/tap.hpp"
+#include "container/runtime.hpp"
+#include "ids/infer_engine.hpp"
+#include "ids/realtime_ids.hpp"
+#include "net/network.hpp"
+#include "obs/flight.hpp"
+#include "obs/latency.hpp"
+#include "obs/metrics.hpp"
+
+namespace ddoshield::ids {
+namespace {
+
+using util::Rng;
+using util::SimTime;
+
+/// Port classifier (dst_port 9999 = attack), optionally slow per row so the
+/// ring backs up while simulated windows keep closing.
+class PortModel : public ml::Classifier {
+ public:
+  explicit PortModel(std::chrono::microseconds row_delay = {}) : delay_{row_delay} {}
+
+  std::string name() const override { return "port"; }
+  void fit(const ml::DesignMatrix&, const std::vector<int>&) override {}
+  bool trained() const override { return true; }
+  int predict(std::span<const double> row) const override {
+    if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
+    return row[5] > 0.14 ? 1 : 0;  // dst_port 9999/65535 = 0.1526
+  }
+  void save(util::ByteWriter&) const override {}
+  void load(util::ByteReader&) override {}
+  std::uint64_t parameter_bytes() const override { return 1024; }
+  std::uint64_t inference_scratch_bytes() const override { return 256; }
+
+ private:
+  std::chrono::microseconds delay_;
+};
+
+struct World {
+  net::Network net;
+  net::Node* sender = nullptr;
+  net::Node* victim = nullptr;
+  container::ContainerRuntime runtime;
+  container::Container* ids_box = nullptr;
+  capture::PacketTap tap;
+
+  World() {
+    sender = &net.add_node("sender", net::Ipv4Address{10, 0, 0, 1});
+    victim = &net.add_node("victim", net::Ipv4Address{10, 0, 0, 2});
+    net.add_link(*sender, *victim, net::LinkConfig{});
+    sender->set_default_route(0);
+    victim->set_default_route(0);
+    tap.attach_to(*victim);
+    runtime.register_image({"test/ids", "1", nullptr});
+    ids_box = &runtime.create("ids", "test/ids:1");
+    ids_box->attach_node(*victim);
+    ids_box->start();
+  }
+
+  void emit(std::uint16_t dst_port, net::TrafficOrigin origin) {
+    net::Packet p;
+    p.dst = victim->address();
+    p.dst_port = dst_port;
+    p.proto = net::IpProto::kUdp;
+    p.payload_bytes = 64;
+    p.origin = origin;
+    sender->send(std::move(p));
+  }
+
+  void schedule_mixed_workload() {
+    for (int w = 0; w < 5; ++w) {
+      for (int i = 0; i < 3 + w; ++i) {
+        const bool attack = (w + i) % 2 == 0;
+        net.simulator().schedule(
+            SimTime::millis(static_cast<std::int64_t>(w) * 1000 + 100 + i * 50), [=, this] {
+              emit(attack ? 9999 : 80,
+                   attack ? net::TrafficOrigin::kMiraiUdpFlood : net::TrafficOrigin::kHttp);
+            });
+      }
+    }
+  }
+};
+
+struct SeriesBaselines {
+  std::uint64_t batch, wait, ring, benign, attack;
+  static SeriesBaselines capture() {
+    auto& lat = obs::LatencyTracker::global();
+    return SeriesBaselines{lat.series("flight.ids.infer_batch_ns").count(),
+                           lat.series("flight.ids.infer_wait_ns").count(),
+                           lat.series("flight.ids.ring_wait_ns").count(),
+                           lat.series("flight.port.detect_lag_ns.benign").count(),
+                           lat.series("flight.port.detect_lag_ns.attack").count()};
+  }
+};
+
+std::uint64_t count_stage(const std::vector<obs::FlightEvent>& events,
+                          obs::FlightStage stage) {
+  std::uint64_t n = 0;
+  for (const auto& e : events) n += e.stage == stage ? 1 : 0;
+  return n;
+}
+
+struct GlobalFlightGuard {
+  ~GlobalFlightGuard() {
+    auto& f = obs::FlightRecorder::global();
+    f.set_enabled(false);
+    f.configure(obs::FlightConfig{});
+  }
+};
+
+TEST(IdsFlightTest, OffloadAttributionReconcilesWithEngineCounters) {
+  GlobalFlightGuard guard;
+  auto& flight = obs::FlightRecorder::global();
+  // Every packet sampled; ring big enough that nothing is overwritten.
+  flight.configure(obs::FlightConfig{.capacity = 2048, .sample_every = 1});
+  flight.set_enabled(true);
+  const SeriesBaselines before = SeriesBaselines::capture();
+
+  World world;
+  // 200 us per row with a one-slot ring: simulated window closes outpace
+  // the worker, so jobs sit in the ring (queue_wait_ns > 0) and submits
+  // hit backpressure — the exact regime the attribution must explain.
+  PortModel model{std::chrono::microseconds{200}};
+  IdsConfig config;
+  config.offload_inference = true;
+  config.infer_ring_capacity = 1;
+  RealTimeIds ids{*world.ids_box, Rng{1}, model, config};
+  ids.attach_tap(world.tap);
+  ids.start();
+  world.schedule_mixed_workload();
+  world.net.simulator().run_until(SimTime::millis(5500));
+  ids.flush();
+
+  const auto reports = ids.reports();
+  ASSERT_GE(reports.size(), 5u);
+  std::uint64_t total_packets = 0;
+  for (const auto& r : reports) total_packets += r.packets;
+
+  ASSERT_NE(ids.engine(), nullptr);
+  const auto stats = ids.engine()->stats();
+  EXPECT_EQ(stats.completed, reports.size());
+  EXPECT_EQ(stats.rows_scored, total_packets);
+
+  // Flight window stages reconcile with the engine's batch accounting:
+  // one submit/complete/verdict triple per completed batch.
+  const auto events = flight.events_in_order();
+  EXPECT_EQ(flight.overwritten(), 0u) << "ring too small for the run";
+  EXPECT_EQ(count_stage(events, obs::FlightStage::kWindowClose), reports.size());
+  EXPECT_EQ(count_stage(events, obs::FlightStage::kInferSubmit), stats.submitted);
+  EXPECT_EQ(count_stage(events, obs::FlightStage::kInferComplete), stats.completed);
+  EXPECT_EQ(count_stage(events, obs::FlightStage::kVerdict), stats.completed);
+  // Every tapped packet was sampled into the capture stage.
+  EXPECT_EQ(count_stage(events, obs::FlightStage::kCaptureTap), total_packets);
+
+  // Latency attribution: one batch-time observation per completed batch,
+  // one around-the-batch wait per finalized window, and — in this seeded
+  // backpressure regime — at least one nonzero ring sit. Ring waits can
+  // never outnumber completed batches.
+  auto& lat = obs::LatencyTracker::global();
+  const std::uint64_t batch = lat.series("flight.ids.infer_batch_ns").count() - before.batch;
+  const std::uint64_t wait = lat.series("flight.ids.infer_wait_ns").count() - before.wait;
+  const std::uint64_t ring = lat.series("flight.ids.ring_wait_ns").count() - before.ring;
+  EXPECT_EQ(batch, stats.completed);
+  EXPECT_EQ(wait, stats.completed);
+  EXPECT_GE(ring, 1u);
+  EXPECT_LE(ring, stats.completed);
+  EXPECT_GE(stats.backpressure_waits, 1u);
+
+  // Per-packet end-to-end detect lag: every tapped packet lands in exactly
+  // one traffic-class series.
+  const std::uint64_t benign =
+      lat.series("flight.port.detect_lag_ns.benign").count() - before.benign;
+  const std::uint64_t attack =
+      lat.series("flight.port.detect_lag_ns.attack").count() - before.attack;
+  EXPECT_EQ(benign + attack, total_packets);
+  EXPECT_GT(attack, 0u);
+  EXPECT_GT(benign, 0u);
+}
+
+TEST(IdsFlightTest, InlineModeHasNoRingWait) {
+  GlobalFlightGuard guard;
+  auto& flight = obs::FlightRecorder::global();
+  flight.configure(obs::FlightConfig{.capacity = 2048, .sample_every = 1});
+  flight.set_enabled(true);
+  const SeriesBaselines before = SeriesBaselines::capture();
+
+  World world;
+  PortModel model;
+  IdsConfig config;
+  config.offload_inference = false;
+  RealTimeIds ids{*world.ids_box, Rng{1}, model, config};
+  ids.attach_tap(world.tap);
+  ids.start();
+  world.schedule_mixed_workload();
+  world.net.simulator().run_until(SimTime::millis(5500));
+  ids.flush();
+
+  const auto reports = ids.reports();
+  ASSERT_GE(reports.size(), 5u);
+  EXPECT_EQ(ids.engine(), nullptr);
+
+  auto& lat = obs::LatencyTracker::global();
+  // Inline scoring has no ring: batch and wait observations still cover
+  // every window, but the ring-wait series stays untouched.
+  EXPECT_EQ(lat.series("flight.ids.infer_batch_ns").count() - before.batch, reports.size());
+  EXPECT_EQ(lat.series("flight.ids.infer_wait_ns").count() - before.wait, reports.size());
+  EXPECT_EQ(lat.series("flight.ids.ring_wait_ns").count() - before.ring, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ResourceMeter peak RSS
+// ---------------------------------------------------------------------------
+
+TEST(ResourceMeterPeakTest, PeakRssIsPopulatedAndMonotone) {
+  ResourceMeter meter{"peaktest", ResourceMeterConfig{}};
+  EXPECT_EQ(meter.peak_rss_kb(), 0u) << "no probe yet";
+  const std::uint64_t current = meter.sample_rss_kb(0);
+  const std::uint64_t peak = meter.peak_rss_kb();
+  EXPECT_GT(current, 0u);
+  EXPECT_GT(peak, 0u);
+  // The high-water mark can never sit below the current working set.
+  EXPECT_GE(peak, current);
+
+  // Re-probing never regresses the peak.
+  meter.sample_rss_kb(1);
+  EXPECT_GE(meter.peak_rss_kb(), peak);
+
+  // on_window_closed publishes the gauge alongside cpu/rss.
+  meter.on_window_closed(2, 1'000'000, 1'000'000, 1'000'000'000);
+  auto& reg = obs::MetricsRegistry::global();
+  EXPECT_GE(reg.gauge("ids.peaktest.rss_peak_kb").value(),
+            static_cast<double>(peak));
+}
+
+}  // namespace
+}  // namespace ddoshield::ids

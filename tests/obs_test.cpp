@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "net/simulator.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/snapshot.hpp"
@@ -142,6 +144,49 @@ TEST(HistogramTest, CountAlwaysEqualsBucketSum) {
   for (const std::uint64_t b : h.buckets()) total += b;
   EXPECT_EQ(total, h.count());
   EXPECT_EQ(h.count(), 10u);
+}
+
+TEST(HistogramTest, PercentileAccessorsMatchQuantile) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.observe(v);
+  EXPECT_DOUBLE_EQ(h.p50(), h.quantile(0.50));
+  EXPECT_DOUBLE_EQ(h.p90(), h.quantile(0.90));
+  EXPECT_DOUBLE_EQ(h.p99(), h.quantile(0.99));
+  EXPECT_DOUBLE_EQ(h.p999(), h.quantile(0.999));
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+  EXPECT_LE(h.p99(), h.p999());
+  EXPECT_LE(h.p999(), 10000.0);
+}
+
+TEST(HistogramTest, TopBucketQuantileInterpolatesInsteadOfDegenerating) {
+  // Bucket 63 spans [2^63, 2^64); the old upper-edge clamp to 2^63 made
+  // hi == lo there, so every quantile that landed in the top bucket
+  // collapsed to its floor. With the ldexp edge the interpolation spreads
+  // across the bucket and stays within the observed range.
+  Histogram h;
+  const std::uint64_t lo = 1ull << 63;
+  const std::uint64_t hi = std::numeric_limits<std::uint64_t>::max();
+  for (int i = 0; i < 100; ++i) h.observe(hi);
+  h.observe(lo);
+  const double p50 = h.quantile(0.50);
+  EXPECT_GT(p50, static_cast<double>(lo));
+  EXPECT_LE(p50, static_cast<double>(hi));
+  // Quantiles remain ordered within the degenerate-prone bucket.
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+  EXPECT_LE(h.p99(), h.p999());
+}
+
+TEST(HistogramTest, QuantileAtPowerOfTwoBoundaryStaysInBucketRange) {
+  // All mass exactly on a bucket's lower edge: interpolation must not
+  // escape [min, max] on either side of the boundary.
+  for (const std::uint64_t edge : {2ull, 1024ull, 1ull << 32, 1ull << 62}) {
+    Histogram h;
+    for (int i = 0; i < 10; ++i) h.observe(edge);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), static_cast<double>(edge)) << "edge " << edge;
+    EXPECT_DOUBLE_EQ(h.p999(), static_cast<double>(edge)) << "edge " << edge;
+  }
 }
 
 TEST(HistogramTest, BucketFloorAgreesWithBucketAssignment) {
@@ -324,6 +369,34 @@ TEST(TraceRecorderTest, ClearEmptiesTheBuffer) {
   EXPECT_EQ(trace.size(), 0u);
 }
 
+TEST(TraceRecorderTest, EventBudgetDropsAndCounts) {
+  auto& reg = MetricsRegistry::global();
+  const std::uint64_t dropped_before = reg.counter("trace.dropped_events").value();
+
+  TraceRecorder trace;
+  trace.set_enabled(true);
+  trace.set_event_budget(3);
+  EXPECT_EQ(trace.event_budget(), 3u);
+  for (int i = 0; i < 10; ++i) trace.instant("i", "c", SimTime::millis(i));
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.dropped_events(), 7u);
+  EXPECT_EQ(reg.counter("trace.dropped_events").value() - dropped_before, 7u);
+
+  // Spans and counters go through the same gate.
+  trace.span("s", "c", SimTime::millis(1), SimTime::millis(1));
+  trace.counter("q", SimTime::millis(2), 1.0);
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.dropped_events(), 9u);
+
+  // clear() resets both the buffer and the drop tally, so a fresh trace
+  // window starts with a full budget again.
+  trace.clear();
+  EXPECT_EQ(trace.dropped_events(), 0u);
+  trace.instant("again", "c", SimTime::millis(3));
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.dropped_events(), 0u);
+}
+
 // --------------------------------------------------------------------------
 // Sampler
 // --------------------------------------------------------------------------
@@ -435,6 +508,96 @@ TEST(SamplerTest, EmitsTraceCountersWhenTracingEnabled) {
 }
 
 // --------------------------------------------------------------------------
+// LogLinearHistogram + LatencyTracker
+// --------------------------------------------------------------------------
+
+TEST(LogLinearHistogramTest, ValuesBelowTwoOctavesAreExact) {
+  for (std::uint64_t v = 0; v < 2 * LogLinearHistogram::kSub; ++v) {
+    EXPECT_EQ(LogLinearHistogram::index_of(v), v);
+    EXPECT_EQ(LogLinearHistogram::bucket_floor(v), v);
+    EXPECT_EQ(LogLinearHistogram::bucket_width(v), 1u);
+  }
+  LogLinearHistogram h;
+  h.observe(42);
+  EXPECT_DOUBLE_EQ(h.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(h.p999(), 42.0);
+}
+
+TEST(LogLinearHistogramTest, BucketGeometryIsConsistent) {
+  // Every bucket: floor lands back in the bucket, floor+width-1 stays in
+  // it, and floor+width starts the next one (up to uint64 range).
+  for (std::size_t i = 0; i + 1 < LogLinearHistogram::kBucketCount; ++i) {
+    const std::uint64_t lo = LogLinearHistogram::bucket_floor(i);
+    const std::uint64_t w = LogLinearHistogram::bucket_width(i);
+    EXPECT_EQ(LogLinearHistogram::index_of(lo), i) << "bucket " << i;
+    EXPECT_EQ(LogLinearHistogram::index_of(lo + w - 1), i) << "bucket " << i;
+    EXPECT_EQ(LogLinearHistogram::index_of(lo + w), i + 1) << "bucket " << i;
+    EXPECT_EQ(LogLinearHistogram::bucket_floor(i + 1), lo + w) << "bucket " << i;
+  }
+}
+
+TEST(LogLinearHistogramTest, RelativeErrorBoundedByOneOverSub) {
+  // Any single recorded value's p50 comes back within 1/kSub of itself.
+  LogLinearHistogram h;
+  std::uint64_t v = 1;
+  for (int i = 0; i < 60; ++i, v = v * 3 + 7) {
+    h.reset();
+    h.observe(v);
+    const double err = std::abs(h.p50() - static_cast<double>(v)) / static_cast<double>(v);
+    EXPECT_LE(err, 1.0 / LogLinearHistogram::kSub) << "value " << v;
+  }
+}
+
+TEST(LogLinearHistogramTest, QuantilesAreOrderedAndClamped) {
+  LogLinearHistogram h;
+  for (std::uint64_t v = 100; v <= 100000; v += 37) h.observe(v);
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+  EXPECT_LE(h.p99(), h.p999());
+  EXPECT_GE(h.p50(), static_cast<double>(h.min()));
+  EXPECT_LE(h.p999(), static_cast<double>(h.max()));
+  // Uniform spacing: the median should be near the midpoint within the
+  // histogram's relative-error bound.
+  const double mid = (100.0 + 100000.0) / 2.0;
+  EXPECT_NEAR(h.p50(), mid, mid / LogLinearHistogram::kSub + 37.0);
+}
+
+TEST(LogLinearHistogramTest, TracksCountSumMinMaxMeanAndResets) {
+  LogLinearHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.observe(10);
+  h.observe(30);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.sum(), 40u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(LatencyTrackerTest, SeriesAreNamedStableAndResettable) {
+  LatencyTracker lat;
+  LogLinearHistogram& a = lat.series("flight.a");
+  LogLinearHistogram& b = lat.series("flight.b");
+  EXPECT_NE(&a, &b);
+  // Re-resolving and registering more series returns the same node.
+  a.observe(5);
+  for (int i = 0; i < 64; ++i) lat.series("flight.fill." + std::to_string(i));
+  EXPECT_EQ(&lat.series("flight.a"), &a);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(lat.all().size(), 66u);
+
+  lat.reset();
+  EXPECT_EQ(a.count(), 0u);           // zeroed...
+  EXPECT_EQ(lat.all().size(), 66u);   // ...but registrations survive
+  EXPECT_EQ(&lat.series("flight.a"), &a);
+}
+
+// --------------------------------------------------------------------------
 // Snapshot writer
 // --------------------------------------------------------------------------
 
@@ -449,13 +612,17 @@ TEST(SnapshotTest, EmitsAllSectionsWithValues) {
   write_json_snapshot(reg, os);
   const std::string json = os.str();
 
-  EXPECT_NE(json.find("\"schema\": \"ddoshield-metrics-v1\""), std::string::npos);
+  // The default writer now emits the v2 schema: everything v1 had, plus a
+  // p999 per histogram and a top-level latency section.
+  EXPECT_NE(json.find("\"schema\": \"ddoshield-metrics-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"net.packets\": 123"), std::string::npos);
   EXPECT_NE(json.find("\"queue.depth\""), std::string::npos);
   EXPECT_NE(json.find("\"high_water\": 4.5"), std::string::npos);
   EXPECT_NE(json.find("\"lat.ns\""), std::string::npos);
   EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"sum\": 4000"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency\""), std::string::npos);
 
   // Structural validity: balanced braces outside strings.
   int depth = 0;
@@ -495,15 +662,16 @@ void fill_golden_fixture_registry(MetricsRegistry& reg) {
   reg.histogram("empty.histogram");
 }
 
-// Pins the exact bytes of the "ddoshield-metrics-v1" schema. If this test
-// fails because the format intentionally changed, bump the schema string
-// and regenerate the golden file from the failure output — consumers parse
-// these snapshots (BENCH_*.json) and silent drift breaks them.
+// Pins the exact bytes of the "ddoshield-metrics-v1" schema. The default
+// writer moved to v2, but v1 stays requestable and byte-stable — existing
+// consumers of old BENCH_*.json snapshots rely on it. If this test fails
+// because the format intentionally changed, bump the schema string and
+// regenerate the golden file from the failure output.
 TEST(SnapshotTest, MatchesGoldenFile) {
   MetricsRegistry reg;
   fill_golden_fixture_registry(reg);
   std::ostringstream os;
-  write_json_snapshot(reg, os);
+  write_json_snapshot(reg, os, SnapshotVersion::kV1);
 
   const std::string path = std::string{DDOS_TEST_DATA_DIR} + "/golden/metrics_snapshot_v1.json";
   std::ifstream in{path};
@@ -512,6 +680,88 @@ TEST(SnapshotTest, MatchesGoldenFile) {
   golden << in.rdbuf();
 
   EXPECT_EQ(os.str(), golden.str());
+}
+
+// Same fixture, v2 writer with a latency tracker attached: pins the v2
+// bytes the way the v1 golden pins v1.
+TEST(SnapshotTest, MatchesGoldenFileV2) {
+  MetricsRegistry reg;
+  fill_golden_fixture_registry(reg);
+  LatencyTracker lat;
+  auto& series = lat.series("flight.net.queue_ns");
+  for (std::uint64_t v : {0ull, 63ull, 64ull, 1000ull, 1ull << 20}) series.observe(v);
+  lat.series("flight.empty_series");
+
+  std::ostringstream os;
+  write_json_snapshot(reg, os, SnapshotVersion::kV2, &lat);
+
+  const std::string path = std::string{DDOS_TEST_DATA_DIR} + "/golden/metrics_snapshot_v2.json";
+  std::ifstream in{path};
+  ASSERT_TRUE(in.is_open()) << "missing golden file: " << path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  EXPECT_EQ(os.str(), golden.str());
+}
+
+// --------------------------------------------------------------------------
+// Snapshot reader: v1 and v2 round-trip byte-identically
+// --------------------------------------------------------------------------
+
+TEST(SnapshotTest, ReaderRoundTripsV1Bytes) {
+  MetricsRegistry reg;
+  fill_golden_fixture_registry(reg);
+  std::ostringstream os;
+  write_json_snapshot(reg, os, SnapshotVersion::kV1);
+  const std::string original = os.str();
+
+  SnapshotData data;
+  std::istringstream in{original};
+  ASSERT_TRUE(read_json_snapshot(in, data));
+  EXPECT_EQ(data.schema, "ddoshield-metrics-v1");
+  EXPECT_EQ(data.counters.at("net.link.tx_packets"), 123456u);
+  EXPECT_EQ(data.counters.at("weird\"name\\with.escapes"), 1u);
+  EXPECT_DOUBLE_EQ(data.gauges.at("net.backlog").value, -1.25);
+  EXPECT_DOUBLE_EQ(data.gauges.at("ids.queue_depth").high_water, 7.0);
+  EXPECT_EQ(data.histograms.at("ids.window_infer_ns").count, 6u);
+
+  // Re-serializing the parsed structure reproduces the input exactly:
+  // %.17g is injective on doubles, so no information is lost in transit.
+  std::ostringstream rewritten;
+  write_json_snapshot(data, rewritten);
+  EXPECT_EQ(rewritten.str(), original);
+}
+
+TEST(SnapshotTest, ReaderRoundTripsV2Bytes) {
+  MetricsRegistry reg;
+  fill_golden_fixture_registry(reg);
+  LatencyTracker lat;
+  auto& series = lat.series("flight.net.queue_ns");
+  for (std::uint64_t v : {1ull, 100ull, 10000ull}) series.observe(v);
+
+  std::ostringstream os;
+  write_json_snapshot(reg, os, SnapshotVersion::kV2, &lat);
+  const std::string original = os.str();
+
+  SnapshotData data;
+  std::istringstream in{original};
+  ASSERT_TRUE(read_json_snapshot(in, data));
+  EXPECT_EQ(data.schema, "ddoshield-metrics-v2");
+  EXPECT_EQ(data.latency.at("flight.net.queue_ns").count, 3u);
+  EXPECT_GT(data.histograms.at("ids.window_infer_ns").p999, 0.0);
+
+  std::ostringstream rewritten;
+  write_json_snapshot(data, rewritten);
+  EXPECT_EQ(rewritten.str(), original);
+}
+
+TEST(SnapshotTest, ReaderRejectsMalformedInput) {
+  for (const char* bad : {"", "{", "{\"schema\": \"nope\"", "not json at all",
+                          "{\"schema\": \"ddoshield-metrics-v1\", \"counters\": {"}) {
+    SnapshotData data;
+    std::istringstream in{bad};
+    EXPECT_FALSE(read_json_snapshot(in, data)) << "accepted: " << bad;
+  }
 }
 
 // --------------------------------------------------------------------------
