@@ -18,16 +18,86 @@
 // path (default flight_dump.json) if anything dies, and a clean run
 // writes the same dump at exit. With --trace too, flight events are
 // merged into the Chrome timeline under the "flight" category.
+//
+// Pass --survival-report to append a fourth phase: a seeded SYN flood from
+// half the fleet against a narrowed uplink, with the SurvivalMeter tallying
+// benign connect success, goodput, and tail latency through the attack.
+// Add --mitigate to also run the defended pass — RF verdicts driving the
+// closed detect→defend loop (rate limits, ACLs, SYN cookies) — and print
+// the two summaries side by side. With --trace, every mitigation action
+// lands in the Chrome timeline as an instant event under "mitigate".
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/pipeline.hpp"
+#include "core/testbed.hpp"
+#include "ids/realtime_ids.hpp"
+#include "mitigate/mitigation.hpp"
 #include "obs/flight.hpp"
+#include "obs/survival.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 using namespace ddoshield;
+
+namespace {
+
+// Same shape as the seeded survival integration test: 4 of 8 devices turn
+// bot and SYN-flood the TServer at 3.2x the (narrowed) uplink capacity,
+// so the undefended baseline visibly loses benign connects and latency.
+core::Scenario survival_scenario() {
+  core::Scenario s;
+  s.seed = 17;
+  s.device_count = 8;
+  s.vulnerable_fraction = 0.5;
+  s.duration = util::SimTime::seconds(12);
+  s.infection_start = util::SimTime::millis(500);
+
+  core::AttackBurst burst;
+  burst.start = util::SimTime::seconds(3);
+  burst.type = botnet::AttackType::kSynFlood;
+  burst.duration = util::SimTime::seconds(6);
+  burst.packets_per_second_per_bot = 20000.0;
+  burst.spoof_sources = false;  // bot-addressed, so edge rules can bite
+  s.attacks.push_back(burst);
+
+  s.topology.uplink.rate_bps = 8e6;
+  return s;
+}
+
+obs::SurvivalReport run_survival_pass(const ml::Classifier& model, bool defended) {
+  core::Testbed bed{survival_scenario()};
+  bed.deploy();
+
+  ids::IdsConfig ids_cfg;
+  ids_cfg.window = util::SimTime::millis(500);
+  bed.deploy_ids(model, ids_cfg);
+  if (defended) bed.enable_mitigation();
+
+  auto& meter = obs::SurvivalMeter::global();
+  meter.reset();
+  meter.set_enabled(true);
+  bed.run();
+  meter.set_enabled(false);
+
+  if (defended && bed.mitigation() != nullptr) {
+    const mitigate::MitigationController& ctl = *bed.mitigation();
+    std::printf("  %s\n", ctl.summary().to_string().c_str());
+    auto& trace = obs::TraceRecorder::global();
+    if (trace.enabled()) {
+      // Instant events line the defense's moves up against the IDS window
+      // spans and sampled gauges already on the timeline.
+      for (const mitigate::Action& a : ctl.action_log().actions()) {
+        trace.instant(std::string{"mitigate."} + mitigate::to_string(a.type), "mitigate",
+                      util::SimTime::nanos(a.t_ns));
+      }
+    }
+  }
+  return meter.report();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IONBF, 0);  // progress visible when piped
@@ -35,6 +105,8 @@ int main(int argc, char** argv) {
 
   std::string trace_path;
   std::string flight_path;
+  bool survival_report = false;
+  bool mitigate_flag = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       trace_path = "quickstart_trace.json";
@@ -44,6 +116,11 @@ int main(int argc, char** argv) {
       flight_path = "flight_dump.json";
     } else if (std::strncmp(argv[i], "--flight-dump=", 14) == 0) {
       flight_path = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--survival-report") == 0) {
+      survival_report = true;
+    } else if (std::strcmp(argv[i], "--mitigate") == 0) {
+      mitigate_flag = true;  // implies the survival phase
+      survival_report = true;
     }
   }
   if (!trace_path.empty()) obs::TraceRecorder::global().set_enabled(true);
@@ -83,6 +160,22 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.summary.windows),
                 result.summary.cpu_percent, result.summary.memory_kb);
   }
+  // --- 4. survival under attack (--survival-report / --mitigate) ------------
+  if (survival_report) {
+    std::printf("\nSurvival under attack (SYN flood, 12 s simulated, RF verdicts)...\n");
+    std::printf("undefended:\n");
+    const obs::SurvivalReport off = run_survival_pass(models.get("rf"), false);
+    std::printf("%s\n", off.summary().c_str());
+    if (mitigate_flag) {
+      std::printf("defended (--mitigate):\n");
+      const obs::SurvivalReport on = run_survival_pass(models.get("rf"), true);
+      std::printf("%s\n", on.summary().c_str());
+      std::printf("  connect success %.1f%% -> %.1f%%, p99 latency %.0f ms -> %.0f ms\n",
+                  100.0 * off.connect_success_rate(), 100.0 * on.connect_success_rate(),
+                  off.latency_p99_ns / 1e6, on.latency_p99_ns / 1e6);
+    }
+  }
+
   if (!trace_path.empty()) {
     auto& trace = obs::TraceRecorder::global();
     if (!flight_path.empty()) flight.export_to_trace(trace);

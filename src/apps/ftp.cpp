@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/survival.hpp"
+
 namespace ddoshield::apps {
 
 using net::Endpoint;
@@ -102,6 +104,7 @@ struct FtpClient::Session {
   bool transfer_active = false;
   std::uint64_t expected_bytes = 0;
   std::uint64_t received_bytes = 0;
+  SimTime transfer_started_at;
 };
 
 FtpClient::FtpClient(container::Container& owner, util::Rng rng, FtpClientConfig config)
@@ -124,8 +127,18 @@ void FtpClient::start_session() {
 
   auto control = node().tcp().connect(config_.server, TrafficOrigin::kFtp);
   session->control = control;
+  obs::SurvivalMeter::global().on_connect_attempt();
 
-  control->set_on_connected([this, session] { request_file(session); });
+  control->set_on_connected([this, session] {
+    obs::SurvivalMeter::global().on_connect_success();
+    request_file(session);
+  });
+
+  control->set_on_closed([](TcpCloseReason reason) {
+    if (reason == TcpCloseReason::kConnectTimeout) {
+      obs::SurvivalMeter::global().on_connect_failure();
+    }
+  });
 
   control->set_on_data([this, session](std::uint32_t, const std::string& app_data) {
     if (app_data.rfind("150 PASV", 0) == 0) {
@@ -157,6 +170,7 @@ void FtpClient::request_file(const std::shared_ptr<Session>& s) {
   s->transfer_active = true;
   s->expected_bytes = 0;
   s->received_bytes = 0;
+  s->transfer_started_at = sim().now();
   const auto file = rng().uniform_u64(5000);
   s->control->send(64, "RETR file-" + std::to_string(file));
 }
@@ -177,8 +191,12 @@ void FtpClient::open_data_connection(const std::shared_ptr<Session>& s, std::uin
     s->transfer_active = false;
     if (reason == TcpCloseReason::kGracefulClose && s->received_bytes >= s->expected_bytes) {
       ++downloads_completed_;
+      obs::SurvivalMeter::global().on_request_complete(
+          static_cast<std::uint64_t>((sim().now() - s->transfer_started_at).ns()),
+          s->received_bytes);
     } else {
       ++failed_downloads_;
+      obs::SurvivalMeter::global().on_request_failure();
     }
   });
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/survival.hpp"
 #include "util/logging.hpp"
 
 namespace ddoshield::apps {
@@ -88,8 +89,12 @@ void HttpClient::start_session() {
 
   auto conn = node().tcp().connect(config_.server, TrafficOrigin::kHttp);
   session->conn = conn;
+  obs::SurvivalMeter::global().on_connect_attempt();
 
-  conn->set_on_connected([this, session] { issue_request(session); });
+  conn->set_on_connected([this, session] {
+    obs::SurvivalMeter::global().on_connect_success();
+    issue_request(session);
+  });
 
   conn->set_on_data([this, session](std::uint32_t bytes, const std::string& app_data) {
     if (!session->awaiting_response) return;
@@ -104,7 +109,10 @@ void HttpClient::start_session() {
     bytes_downloaded_ += bytes;
     if (session->expected_bytes > 0 && session->received_bytes >= session->expected_bytes) {
       ++responses_completed_;
-      response_latency_.add((sim().now() - session->request_sent_at).to_seconds());
+      const SimTime latency = sim().now() - session->request_sent_at;
+      response_latency_.add(latency.to_seconds());
+      obs::SurvivalMeter::global().on_request_complete(
+          static_cast<std::uint64_t>(latency.ns()), session->received_bytes);
       session->awaiting_response = false;
       if (session->requests_left > 0 && running()) {
         const double think = rng().exponential(1.0 / config_.mean_think_seconds);
@@ -118,9 +126,15 @@ void HttpClient::start_session() {
   });
 
   conn->set_on_closed([this, session](TcpCloseReason reason) {
+    if (reason == TcpCloseReason::kConnectTimeout) {
+      obs::SurvivalMeter::global().on_connect_failure();
+    }
     if (reason != TcpCloseReason::kGracefulClose &&
         (session->awaiting_response || session->requests_left > 0)) {
       ++failed_sessions_;
+      if (reason != TcpCloseReason::kConnectTimeout) {
+        obs::SurvivalMeter::global().on_request_failure();
+      }
     }
   });
 }

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/survival.hpp"
+
 namespace ddoshield::apps {
 
 using net::TcpConnection;
@@ -68,8 +70,16 @@ void VideoClient::schedule_next_session() {
 void VideoClient::start_session() {
   ++sessions_started_;
   auto conn = node().tcp().connect(config_.server, TrafficOrigin::kVideo);
+  obs::SurvivalMeter::global().on_connect_attempt();
+
+  conn->set_on_closed([](net::TcpCloseReason reason) {
+    if (reason == net::TcpCloseReason::kConnectTimeout) {
+      obs::SurvivalMeter::global().on_connect_failure();
+    }
+  });
 
   conn->set_on_connected([this, conn] {
+    obs::SurvivalMeter::global().on_connect_success();
     const auto stream = rng().uniform_u64(64);
     conn->send(96, "PLAY stream-" + std::to_string(stream));
     // The viewer watches for an exponential duration, then hangs up.
@@ -79,8 +89,10 @@ void VideoClient::start_session() {
     });
   });
 
-  conn->set_on_data(
-      [this](std::uint32_t bytes, const std::string&) { bytes_received_ += bytes; });
+  conn->set_on_data([this](std::uint32_t bytes, const std::string&) {
+    bytes_received_ += bytes;
+    obs::SurvivalMeter::global().on_goodput_bytes(bytes);
+  });
 }
 
 }  // namespace ddoshield::apps

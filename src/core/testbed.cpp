@@ -14,7 +14,12 @@ using util::SimTime;
 
 Testbed::Testbed(Scenario scenario) : scenario_{std::move(scenario)} {}
 
-Testbed::~Testbed() { runtime_.stop_all(); }
+Testbed::~Testbed() {
+  // Detach the edge filter before edge_filter_ is destroyed (member order
+  // alone is not enough: topo_.router outlives the filter).
+  if (edge_filter_ && topo_.router != nullptr) topo_.router->set_ingress_filter(nullptr);
+  runtime_.stop_all();
+}
 
 void Testbed::deploy() {
   if (deployed_) throw std::logic_error("Testbed::deploy: already deployed");
@@ -234,6 +239,44 @@ ids::RealTimeIds& Testbed::deploy_ids(const ml::Classifier& model, ids::IdsConfi
   ids_->attach_tap(*tap_);
   ids_->start();
   return *ids_;
+}
+
+mitigate::MitigationController& Testbed::enable_mitigation(mitigate::MitigationConfig config) {
+  if (!ids_) throw std::logic_error("Testbed::enable_mitigation: call deploy_ids() first");
+  if (mitigation_) throw std::logic_error("Testbed::enable_mitigation: already enabled");
+
+  // Enforcement point: the router's ingress, guarding packets addressed to
+  // the TServer — the simulated analogue of pushing filters to the victim's
+  // edge so the flood dies before the uplink.
+  edge_filter_ = std::make_unique<mitigate::EdgeFilter>(net_.simulator(),
+                                                        topo_.tserver->address());
+  topo_.router->set_ingress_filter(edge_filter_.get());
+
+  auto& ids_container = runtime_.get("ids");
+  mitigation_ = std::make_unique<mitigate::MitigationController>(
+      ids_container, Rng{scenario_.seed}.fork("mitigate"), *ids_, *edge_filter_,
+      topo_.tserver->tcp(), config);
+  mitigation_->set_quarantine_hooks(
+      [this](std::uint32_t src_addr) {
+        for (std::size_t i = 0; i < topo_.devices.size(); ++i) {
+          if (topo_.devices[i]->address().bits() != src_addr) continue;
+          auto& dev = runtime_.get("dev_" + std::to_string(i));
+          if (dev.state() != container::ContainerState::kRunning) return false;
+          crash_device(i);
+          return true;
+        }
+        return false;  // spoofed or non-device source: edge rules only
+      },
+      [this](std::uint32_t src_addr) {
+        for (std::size_t i = 0; i < topo_.devices.size(); ++i) {
+          if (topo_.devices[i]->address().bits() == src_addr) {
+            restart_device(i);
+            return;
+          }
+        }
+      });
+  mitigation_->start();
+  return *mitigation_;
 }
 
 void Testbed::run_until(SimTime t) { net_.simulator().run_until(t); }

@@ -26,6 +26,7 @@
 #include "container/runtime.hpp"
 #include "core/scenario.hpp"
 #include "ids/realtime_ids.hpp"
+#include "mitigate/mitigation.hpp"
 #include "ml/classifier.hpp"
 #include "net/network.hpp"
 #include "obs/sampler.hpp"
@@ -60,6 +61,14 @@ class Testbed {
   /// Must be called after deploy() and before run_until the traffic of
   /// interest. Returns the IDS for report access.
   ids::RealTimeIds& deploy_ids(const ml::Classifier& model, ids::IdsConfig config = {});
+
+  /// Closes the detect→defend loop: installs an EdgeFilter at the router
+  /// guarding the TServer and starts a MitigationController (in the IDS
+  /// container) driven by the IDS verdict bus, with quarantine hooks wired
+  /// to crash_device/restart_device. Must be called after deploy_ids().
+  mitigate::MitigationController& enable_mitigation(mitigate::MitigationConfig config = {});
+  /// Present only after enable_mitigation().
+  mitigate::MitigationController* mitigation() { return mitigation_.get(); }
 
   /// Runs the simulation to the given absolute time.
   void run_until(util::SimTime t);
@@ -154,6 +163,11 @@ class Testbed {
 
   // IDS.
   std::unique_ptr<ids::RealTimeIds> ids_;
+
+  // Mitigation (declared after net_/topo_: the destructor detaches the
+  // filter from the router before the network goes away).
+  std::unique_ptr<mitigate::EdgeFilter> edge_filter_;
+  std::unique_ptr<mitigate::MitigationController> mitigation_;
 
   // Observability.
   std::unique_ptr<obs::Sampler> sampler_;

@@ -1,6 +1,7 @@
 #include "ids/realtime_ids.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "features/schema.hpp"
 #include "obs/flight.hpp"
@@ -106,6 +107,10 @@ void RealTimeIds::close_window() {
   }
   pending.truths.reserve(buffer_.size());
   for (const auto& r : buffer_) pending.truths.push_back(r.is_malicious() ? 1 : 0);
+  if (verdict_sink_) {
+    pending.row_sources.reserve(buffer_.size());
+    for (const auto& r : buffer_) pending.row_sources.push_back(r.src_addr);
+  }
   pending.samples = std::move(window_samples_);
   window_samples_.clear();
 
@@ -207,6 +212,40 @@ void RealTimeIds::finalize_window(PendingWindow&& pending, const ml::Verdicts& v
   if (trace.enabled()) {
     trace.span("ids.window." + model_.name(), "ids", report.window_start, config_.window);
   }
+
+  if (verdict_sink_) {
+    WindowVerdictEvent event;
+    event.window_index = report.window_index;
+    event.window_start = report.window_start;
+    event.packets = report.packets;
+    event.predicted_malicious = report.predicted_malicious;
+    // Ordered aggregation so the event is a pure function of the window's
+    // rows, independent of arrival interleavings.
+    std::map<std::uint32_t, SourceVerdict> by_source;
+    for (std::size_t i = 0; i < verdicts.size() && i < pending.row_sources.size(); ++i) {
+      SourceVerdict& sv = by_source[pending.row_sources[i]];
+      sv.src_addr = pending.row_sources[i];
+      ++sv.packets;
+      sv.flagged += verdicts[i] != 0 ? 1u : 0u;
+    }
+    event.sources.reserve(by_source.size());
+    for (auto& [addr, sv] : by_source) event.sources.push_back(sv);
+    verdict_sink_(event);
+  }
+}
+
+void RealTimeIds::finalize_windows_through(std::uint64_t through) {
+  if (!engine_) return;  // inline mode: verdicts were published at the tick
+  while (!pending_.empty() && pending_.front().report.window_index <= through) {
+    // Blocking collect: wall-clock wait, zero sim-time cost — the verdict
+    // *content* and the sim time it becomes visible stay deterministic.
+    InferResult result = engine_->collect();
+    PendingWindow pending = std::move(pending_.front());
+    pending_.pop_front();
+    finalize_window(std::move(pending), result.verdicts, result.inference_ns,
+                    result.queue_wait_ns);
+  }
+  engine_->publish_metrics();
 }
 
 void RealTimeIds::drain_completed(bool block) {

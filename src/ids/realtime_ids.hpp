@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -32,6 +33,25 @@ class LogLinearHistogram;
 }
 
 namespace ddoshield::ids {
+
+/// Per-source slice of one window's verdicts (sorted by src_addr). The
+/// mitigation controller turns these into enforcement decisions.
+struct SourceVerdict {
+  std::uint32_t src_addr = 0;
+  std::uint32_t packets = 0;  // rows from this source in the window
+  std::uint32_t flagged = 0;  // rows the model called malicious
+};
+
+/// What the verdict bus publishes for every scored window. Carries only
+/// deterministic fields (no wall-clock measurements) so subscribers can
+/// write byte-identical action logs across same-seed runs.
+struct WindowVerdictEvent {
+  std::uint64_t window_index = 0;
+  util::SimTime window_start;
+  std::uint64_t packets = 0;
+  std::uint64_t predicted_malicious = 0;
+  std::vector<SourceVerdict> sources;
+};
 
 /// One closed detection window.
 struct WindowReport {
@@ -89,6 +109,22 @@ class RealTimeIds : public apps::App {
   /// backpressure stats against the flight recorder's wait series).
   const InferenceEngine* engine() const { return engine_.get(); }
 
+  util::SimTime window_period() const { return config_.window; }
+
+  /// Subscribes the verdict bus: fires once per scored window, after the
+  /// report commits. In inline mode that is at the window-close tick; in
+  /// offload mode whenever the result drains (nondeterministic sim time —
+  /// subscribers must only buffer, and order by window_index).
+  void set_verdict_sink(std::function<void(const WindowVerdictEvent&)> sink) {
+    verdict_sink_ = std::move(sink);
+  }
+
+  /// Blocks (wall-clock) until every offload window with index <= through
+  /// has drained and published its verdicts; no-op in inline mode. Called
+  /// by the mitigation controller at its tick so the set of buffered
+  /// verdicts at a given sim time is deterministic either way.
+  void finalize_windows_through(std::uint64_t through);
+
   /// Closes the current partial window (end of run).
   void flush();
 
@@ -110,6 +146,7 @@ class RealTimeIds : public apps::App {
   struct PendingWindow {
     WindowReport report;      // everything but the verdict-derived fields
     std::vector<int> truths;  // ground-truth label per row
+    std::vector<std::uint32_t> row_sources;  // src addr per row (verdict bus only)
     std::vector<WindowSample> samples;
     std::int64_t close_sim_ns = 0;   // sim clock at window close
     std::int64_t close_wall_ns = 0;  // wall clock at window close
@@ -137,6 +174,7 @@ class RealTimeIds : public apps::App {
   std::uint64_t current_window_ = 0;
   std::vector<WindowReport> reports_;
   ml::ConfusionMatrix confusion_;
+  std::function<void(const WindowVerdictEvent&)> verdict_sink_;
 
   // Registry instruments; the latency histograms are per-model
   // ("ids.<model>.feature_ns" / "ids.<model>.inference_ns"), resolved

@@ -1,0 +1,297 @@
+#include "mitigate/mitigation.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "net/address.hpp"
+
+namespace ddoshield::mitigate {
+
+using util::SimTime;
+
+// ---------------------------------------------------------------------------
+// ActionLog
+// ---------------------------------------------------------------------------
+
+const char* to_string(ActionType t) {
+  switch (t) {
+    case ActionType::kSynCookiesOn: return "syn_cookies_on";
+    case ActionType::kRateLimitInstall: return "ratelimit_install";
+    case ActionType::kRateLimitRelease: return "ratelimit_release";
+    case ActionType::kAclInstall: return "acl_install";
+    case ActionType::kAclRelease: return "acl_release";
+    case ActionType::kAclExpire: return "acl_expire";
+    case ActionType::kQuarantine: return "quarantine";
+    case ActionType::kProbationRejoin: return "probation_rejoin";
+  }
+  return "unknown";
+}
+
+std::string Action::to_line() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "t=%lld mitigate action=%s window=%llu src=%s arg=%llu",
+                static_cast<long long>(t_ns), to_string(type),
+                static_cast<unsigned long long>(window_index),
+                net::Ipv4Address{src_addr}.to_string().c_str(),
+                static_cast<unsigned long long>(arg));
+  return std::string{buf};
+}
+
+std::vector<std::string> ActionLog::lines() const {
+  std::vector<std::string> out;
+  out.reserve(actions_.size());
+  for (const auto& a : actions_) out.push_back(a.to_line());
+  return out;
+}
+
+std::string ActionLog::joined() const {
+  std::string out;
+  for (const auto& a : actions_) {
+    out += a.to_line();
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// EdgeFilter
+// ---------------------------------------------------------------------------
+
+net::FilterVerdict EdgeFilter::on_packet(const net::Packet& pkt) {
+  // Benign-only fast path: no rules installed means two cheap branches.
+  if (acl_.empty() && limits_.empty()) return net::FilterVerdict::kAccept;
+  if (pkt.dst != protected_dst_) return net::FilterVerdict::kAccept;
+
+  if (acl_.count(pkt.src.bits()) != 0) return net::FilterVerdict::kDropAcl;
+
+  auto it = limits_.find(pkt.src.bits());
+  if (it == limits_.end()) return net::FilterVerdict::kAccept;
+
+  TokenBucket& tb = it->second;
+  const std::int64_t now_ns = sim_.now().ns();
+  if (now_ns > tb.last_refill_ns) {
+    const double dt_sec = static_cast<double>(now_ns - tb.last_refill_ns) * 1e-9;
+    tb.tokens = std::min(tb.burst, tb.tokens + tb.rate_pps * dt_sec);
+    tb.last_refill_ns = now_ns;
+  }
+  if (tb.tokens >= 1.0) {
+    tb.tokens -= 1.0;
+    return net::FilterVerdict::kAccept;
+  }
+  return net::FilterVerdict::kDropRateLimit;
+}
+
+void EdgeFilter::install_limit(std::uint32_t src_addr, double pps, double burst) {
+  TokenBucket tb;
+  tb.rate_pps = pps;
+  tb.burst = burst;
+  tb.tokens = burst;  // a fresh rule starts full; the flood drains it at once
+  tb.last_refill_ns = sim_.now().ns();
+  limits_[src_addr] = tb;
+}
+
+// ---------------------------------------------------------------------------
+// MitigationController
+// ---------------------------------------------------------------------------
+
+std::string MitigationSummary::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "mitigation windows=%llu actions=%llu ratelimits=%llu acls=%llu "
+                "quarantines=%llu rejoins=%llu sources=%zu",
+                static_cast<unsigned long long>(windows_processed),
+                static_cast<unsigned long long>(actions),
+                static_cast<unsigned long long>(rate_limits_installed),
+                static_cast<unsigned long long>(acls_installed),
+                static_cast<unsigned long long>(quarantines),
+                static_cast<unsigned long long>(rejoins), sources_tracked);
+  return std::string{buf};
+}
+
+MitigationController::MitigationController(container::Container& owner, util::Rng rng,
+                                           ids::RealTimeIds& ids, EdgeFilter& filter,
+                                           net::TcpHost& victim_tcp, MitigationConfig cfg)
+    : App{owner, "mitigation-controller", std::move(rng)},
+      ids_{ids},
+      filter_{filter},
+      victim_tcp_{victim_tcp},
+      cfg_{cfg} {}
+
+void MitigationController::on_start() {
+  // The sink may fire from finalize paths whose wall-clock timing depends on
+  // the offload engine; it must only buffer. All decisions happen in tick().
+  ids_.set_verdict_sink(
+      [this](const ids::WindowVerdictEvent& event) { inbox_.push_back(event); });
+
+  if (cfg_.enable_syn_cookies) {
+    victim_tcp_.set_syn_cookies(true, cfg_.syn_cookie_watermark);
+    log_action(ActionType::kSynCookiesOn, 0, 0,
+               static_cast<std::uint64_t>(cfg_.syn_cookie_watermark));
+  }
+
+  const std::int64_t w = ids_.window_period().ns();
+  current_window_ = static_cast<std::uint64_t>(sim().now().ns() / w);
+  schedule_tick();
+}
+
+void MitigationController::schedule_tick() {
+  // Fire exactly at the next window boundary. The IDS schedules its own tick
+  // for the same instant but earlier (it started first), so FIFO ordering at
+  // equal timestamps guarantees window k is closed before we act on it —
+  // inductively, because both sides re-schedule from within their ticks.
+  const std::int64_t w = ids_.window_period().ns();
+  const std::int64_t boundary = static_cast<std::int64_t>(current_window_ + 1) * w;
+  schedule(SimTime::nanos(boundary) - sim().now(), [this] { tick(); });
+}
+
+void MitigationController::tick() {
+  const std::uint64_t closed = current_window_;
+
+  expire_acls(closed);
+
+  // Block (wall-clock only — sim time does not advance) until the offload
+  // engine has published every window up to the one that just closed, so the
+  // decisions below see the same verdict stream as an inline run.
+  ids_.finalize_windows_through(closed);
+
+  while (!inbox_.empty()) {
+    process_event(inbox_.front());
+    inbox_.pop_front();
+  }
+
+  ++current_window_;
+  schedule_tick();
+}
+
+void MitigationController::expire_acls(std::uint64_t window_index) {
+  const std::int64_t now_ns = sim().now().ns();
+  for (auto& [addr, st] : sources_) {
+    if (st.acl && st.acl_expires_ns <= now_ns) {
+      st.acl = false;
+      // Strikes are retained: a repeat offender re-blocks after one window
+      // (fail2ban-style), a reformed one climbs down via clean windows.
+      filter_.remove_acl(addr);
+      log_action(ActionType::kAclExpire, window_index, addr,
+                 static_cast<std::uint64_t>(cfg_.acl_ttl.ns()));
+    }
+  }
+}
+
+void MitigationController::process_event(const ids::WindowVerdictEvent& event) {
+  ++windows_processed_;
+  for (const auto& sv : event.sources) {
+    // Never blocklist the protected service itself: the tap sees both
+    // directions, so the victim's own responses share every flood window's
+    // (flagged) statistical features.
+    if (sv.src_addr == filter_.protected_dst().bits()) continue;
+    SourceState& st = sources_[sv.src_addr];
+    if (st.quarantined) continue;
+    const bool flagged =
+        sv.packets >= cfg_.min_packets &&
+        static_cast<double>(sv.flagged) >= cfg_.suspect_share * static_cast<double>(sv.packets);
+    if (flagged) {
+      ++st.strikes;
+      st.clean = 0;
+      escalate(sv.src_addr, st, event.window_index);
+    } else if (!st.acl) {
+      // An ACL'd source is invisible to the tap, so absence of flags while
+      // blocked proves nothing; only unblocked clean windows count.
+      ++st.clean;
+      if (st.clean >= cfg_.clean_windows_to_release) pardon(sv.src_addr, st, event.window_index);
+    }
+  }
+}
+
+void MitigationController::escalate(std::uint32_t src_addr, SourceState& st,
+                                    std::uint64_t window_index) {
+  if (cfg_.enable_quarantine && quarantine_fn_ && st.strikes >= cfg_.strikes_to_quarantine) {
+    if (quarantine_fn_(src_addr)) {
+      st.quarantined = true;
+      // The device is down; edge rules against it are dead weight.
+      if (st.acl) {
+        st.acl = false;
+        filter_.remove_acl(src_addr);
+        log_action(ActionType::kAclRelease, window_index, src_addr, 0);
+      }
+      if (st.limited) {
+        st.limited = false;
+        filter_.remove_limit(src_addr);
+        log_action(ActionType::kRateLimitRelease, window_index, src_addr, 0);
+      }
+      log_action(ActionType::kQuarantine, window_index, src_addr, st.strikes);
+      schedule(cfg_.probation, [this, src_addr] {
+        auto it = sources_.find(src_addr);
+        if (it == sources_.end() || !it->second.quarantined) return;
+        it->second = SourceState{};  // rejoin on probation with a clean slate
+        if (rejoin_fn_) rejoin_fn_(src_addr);
+        log_action(ActionType::kProbationRejoin, current_window_, src_addr, 0);
+      });
+      return;
+    }
+    // Not a quarantineable device (spoofed source, external host): fall
+    // through to edge enforcement, which works on any address.
+  }
+  if (cfg_.enable_acl && st.strikes >= cfg_.strikes_to_acl) {
+    if (!st.acl) {
+      st.acl = true;
+      st.acl_expires_ns = sim().now().ns() + cfg_.acl_ttl.ns();
+      filter_.install_acl(src_addr);
+      log_action(ActionType::kAclInstall, window_index, src_addr,
+                 static_cast<std::uint64_t>(cfg_.acl_ttl.ns()));
+      if (st.limited) {
+        st.limited = false;
+        filter_.remove_limit(src_addr);
+        log_action(ActionType::kRateLimitRelease, window_index, src_addr, 0);
+      }
+    } else {
+      st.acl_expires_ns = sim().now().ns() + cfg_.acl_ttl.ns();  // refresh TTL
+    }
+    return;
+  }
+  if (cfg_.enable_rate_limit && st.strikes >= cfg_.strikes_to_limit && !st.limited && !st.acl) {
+    st.limited = true;
+    filter_.install_limit(src_addr, cfg_.limit_pps, cfg_.limit_burst);
+    log_action(ActionType::kRateLimitInstall, window_index, src_addr,
+               static_cast<std::uint64_t>(cfg_.limit_pps));
+  }
+}
+
+void MitigationController::pardon(std::uint32_t src_addr, SourceState& st,
+                                  std::uint64_t window_index) {
+  st.strikes = 0;
+  if (st.limited) {
+    st.limited = false;
+    filter_.remove_limit(src_addr);
+    log_action(ActionType::kRateLimitRelease, window_index, src_addr, st.clean);
+  }
+}
+
+void MitigationController::log_action(ActionType type, std::uint64_t window_index,
+                                      std::uint32_t src_addr, std::uint64_t arg) {
+  Action a;
+  a.t_ns = sim().now().ns();
+  a.window_index = window_index;
+  a.type = type;
+  a.src_addr = src_addr;
+  a.arg = arg;
+  log_.append(a);
+}
+
+MitigationSummary MitigationController::summary() const {
+  MitigationSummary s;
+  s.windows_processed = windows_processed_;
+  s.actions = log_.size();
+  for (const auto& a : log_.actions()) {
+    switch (a.type) {
+      case ActionType::kRateLimitInstall: ++s.rate_limits_installed; break;
+      case ActionType::kAclInstall: ++s.acls_installed; break;
+      case ActionType::kQuarantine: ++s.quarantines; break;
+      case ActionType::kProbationRejoin: ++s.rejoins; break;
+      default: break;
+    }
+  }
+  s.sources_tracked = sources_.size();
+  return s;
+}
+
+}  // namespace ddoshield::mitigate

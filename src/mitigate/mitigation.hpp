@@ -1,0 +1,220 @@
+// Closed-loop mitigation: from IDS verdicts to enforcement.
+//
+// The paper's testbed stops at detection; this subsystem closes the loop.
+// A MitigationController (an app in the IDS container) subscribes to the
+// RealTimeIds verdict bus and drives three enforcement mechanisms:
+//
+//   * per-source token-bucket rate limiters and ACL drop rules in an
+//     EdgeFilter installed at the router's ingress (net::IngressFilter) —
+//     the simulated analogue of pushing filters to the victim's edge;
+//   * SYN cookies in the victim's TCP stack (TcpHost::set_syn_cookies),
+//     self-activating above a half-open watermark;
+//   * quarantine of persistently-malicious devices through the testbed's
+//     crash/restart hooks, with a scheduled probation rejoin.
+//
+// Determinism rules (DESIGN.md §12): verdict-sink callbacks only buffer;
+// all decisions happen at the controller's window tick, which runs after
+// the IDS tick at the same boundary (FIFO seq order) and first blocks —
+// wall-clock only — until every window up to the closed one has drained
+// from the offload engine. Every action is appended to an ActionLog whose
+// lines carry only sim-time and integer fields, so same-seed runs replay
+// byte-identically, inline or offloaded.
+//
+// Hysteresis: a source must accumulate `strikes_to_*` flagged windows to
+// escalate and `clean_windows_to_release` consecutive clean windows to be
+// pardoned, so flapping verdicts don't thrash rules. ACLs also expire on a
+// TTL: a blocked source is invisible to the sensor, so expiry (fail2ban
+// style) is what re-tests it — an offender re-strikes within one window.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "ids/realtime_ids.hpp"
+#include "net/node.hpp"
+#include "net/simulator.hpp"
+#include "net/tcp.hpp"
+
+namespace ddoshield::mitigate {
+
+enum class ActionType : std::uint8_t {
+  kSynCookiesOn,      // arg: watermark (0 = stack default)
+  kRateLimitInstall,  // arg: packets/sec
+  kRateLimitRelease,  // arg: clean windows observed
+  kAclInstall,        // arg: TTL in ns
+  kAclRelease,        // arg: clean windows observed
+  kAclExpire,         // arg: TTL in ns
+  kQuarantine,        // arg: device index
+  kProbationRejoin,   // arg: device index
+};
+
+const char* to_string(ActionType t);
+
+/// One enforcement decision; only deterministic fields.
+struct Action {
+  std::int64_t t_ns = 0;
+  std::uint64_t window_index = 0;
+  ActionType type = ActionType::kSynCookiesOn;
+  std::uint32_t src_addr = 0;  // 0 for host-wide actions (SYN cookies)
+  std::uint64_t arg = 0;
+
+  std::string to_line() const;
+};
+
+/// Append-only record of every action; the mitigation analogue of the
+/// testkit EventLog (byte-identical across same-seed runs).
+class ActionLog {
+ public:
+  void append(Action a) { actions_.push_back(a); }
+  const std::vector<Action>& actions() const { return actions_; }
+  std::size_t size() const { return actions_.size(); }
+  std::vector<std::string> lines() const;
+  /// All lines joined with '\n' (replay comparisons).
+  std::string joined() const;
+
+ private:
+  std::vector<Action> actions_;
+};
+
+struct MitigationConfig {
+  // Mechanism switches — all enforcement is opt-in per mechanism; with the
+  // controller never deployed, behavior is bit-identical to main.
+  bool enable_rate_limit = true;
+  bool enable_acl = true;
+  bool enable_syn_cookies = true;
+  bool enable_quarantine = false;  // crashing devices is drastic; opt in
+
+  // When is a source "flagged" in a window: at least min_packets rows and
+  // at least suspect_share of them called malicious. The volume floor is
+  // what separates bots (hundreds of rows per window) from benign clients
+  // that merely share a flood window with them.
+  double suspect_share = 0.5;
+  std::uint32_t min_packets = 64;
+
+  // Hysteresis ladder (strikes = flagged windows, not necessarily
+  // consecutive; clean windows below the flag bar reset nothing until
+  // clean_windows_to_release of them arrive in a row).
+  std::uint32_t strikes_to_limit = 1;
+  std::uint32_t strikes_to_acl = 3;
+  std::uint32_t strikes_to_quarantine = 6;
+  std::uint32_t clean_windows_to_release = 3;
+
+  // Enforcement parameters.
+  double limit_pps = 50.0;
+  double limit_burst = 25.0;
+  util::SimTime acl_ttl = util::SimTime::seconds(10);
+  util::SimTime probation = util::SimTime::seconds(8);
+  std::size_t syn_cookie_watermark = 0;  // 0 = stack default (backlog/2)
+};
+
+/// Ingress filter for the protected service's edge: an ordered ACL set
+/// plus per-source token buckets refilled on the simulation clock. Only
+/// packets addressed to the protected destination are subject to rules;
+/// with no rules installed, on_packet is two branches.
+class EdgeFilter : public net::IngressFilter {
+ public:
+  EdgeFilter(net::Simulator& sim, net::Ipv4Address protected_dst)
+      : sim_{sim}, protected_dst_{protected_dst} {}
+
+  net::FilterVerdict on_packet(const net::Packet& pkt) override;
+
+  void install_acl(std::uint32_t src_addr) { acl_.insert(src_addr); }
+  void remove_acl(std::uint32_t src_addr) { acl_.erase(src_addr); }
+  void install_limit(std::uint32_t src_addr, double pps, double burst);
+  void remove_limit(std::uint32_t src_addr) { limits_.erase(src_addr); }
+
+  std::size_t acl_rules() const { return acl_.size(); }
+  std::size_t limit_rules() const { return limits_.size(); }
+  net::Ipv4Address protected_dst() const { return protected_dst_; }
+
+ private:
+  struct TokenBucket {
+    double tokens = 0.0;
+    double rate_pps = 0.0;
+    double burst = 0.0;
+    std::int64_t last_refill_ns = 0;
+  };
+
+  net::Simulator& sim_;
+  net::Ipv4Address protected_dst_;
+  std::set<std::uint32_t> acl_;
+  std::map<std::uint32_t, TokenBucket> limits_;
+};
+
+struct MitigationSummary {
+  std::uint64_t windows_processed = 0;
+  std::uint64_t actions = 0;
+  std::uint64_t rate_limits_installed = 0;
+  std::uint64_t acls_installed = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t rejoins = 0;
+  std::size_t sources_tracked = 0;
+  std::string to_string() const;
+};
+
+/// The controller app: buffers verdict events, decides at window ticks,
+/// enforces through the filter / TCP stack / quarantine hooks.
+class MitigationController : public apps::App {
+ public:
+  /// Maps a source address to a quarantineable device and crashes it;
+  /// returns false when the address is no device (spoofed, attacker) or
+  /// the device is already down.
+  using QuarantineFn = std::function<bool(std::uint32_t src_addr)>;
+  /// Probation ended: restart the device.
+  using RejoinFn = std::function<void(std::uint32_t src_addr)>;
+
+  MitigationController(container::Container& owner, util::Rng rng, ids::RealTimeIds& ids,
+                       EdgeFilter& filter, net::TcpHost& victim_tcp, MitigationConfig cfg);
+
+  void set_quarantine_hooks(QuarantineFn quarantine, RejoinFn rejoin) {
+    quarantine_fn_ = std::move(quarantine);
+    rejoin_fn_ = std::move(rejoin);
+  }
+
+  const MitigationConfig& config() const { return cfg_; }
+  const ActionLog& action_log() const { return log_; }
+  MitigationSummary summary() const;
+
+ protected:
+  void on_start() override;
+
+ private:
+  struct SourceState {
+    std::uint32_t strikes = 0;
+    std::uint32_t clean = 0;
+    bool limited = false;
+    bool acl = false;
+    bool quarantined = false;
+    std::int64_t acl_expires_ns = 0;
+  };
+
+  void schedule_tick();
+  void tick();
+  void process_event(const ids::WindowVerdictEvent& event);
+  void expire_acls(std::uint64_t window_index);
+  void escalate(std::uint32_t src_addr, SourceState& st, std::uint64_t window_index);
+  void pardon(std::uint32_t src_addr, SourceState& st, std::uint64_t window_index);
+  void log_action(ActionType type, std::uint64_t window_index, std::uint32_t src_addr,
+                  std::uint64_t arg);
+
+  ids::RealTimeIds& ids_;
+  EdgeFilter& filter_;
+  net::TcpHost& victim_tcp_;
+  MitigationConfig cfg_;
+  QuarantineFn quarantine_fn_;
+  RejoinFn rejoin_fn_;
+
+  std::uint64_t current_window_ = 0;
+  std::uint64_t windows_processed_ = 0;
+  std::deque<ids::WindowVerdictEvent> inbox_;  // sink buffers; tick drains
+  std::map<std::uint32_t, SourceState> sources_;
+  ActionLog log_;
+};
+
+}  // namespace ddoshield::mitigate

@@ -6,6 +6,7 @@
 #include "net/udp.hpp"
 #include "obs/flight.hpp"
 #include "obs/latency.hpp"
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace ddoshield::net {
@@ -32,6 +33,9 @@ Node::Node(Simulator& sim, std::string name, Ipv4Address addr)
   tcp_ = std::make_unique<TcpHost>(*this);
   flight_ = &obs::FlightRecorder::global();
   lat_deliver_ns_ = &obs::LatencyTracker::global().series("flight.net.deliver_lag_ns");
+  auto& reg = obs::MetricsRegistry::global();
+  m_acl_dropped_ = &reg.counter("net.acl_dropped");
+  m_ratelimit_dropped_ = &reg.counter("net.ratelimit_dropped");
 }
 
 Node::~Node() = default;
@@ -121,6 +125,26 @@ void Node::send(Packet pkt) {
 }
 
 void Node::deliver(Packet pkt) {
+  // Enforcement first: a filtered packet is dropped before taps, transports,
+  // or forwarding see it, exactly like a hardware ACL/policer ahead of the
+  // forwarding plane. Links already counted the delivery, so per-link
+  // conservation is unaffected; the node-level stats and the global
+  // counters carry the mitigation accounting instead.
+  if (ingress_filter_ != nullptr) {
+    switch (ingress_filter_->on_packet(pkt)) {
+      case FilterVerdict::kAccept:
+        break;
+      case FilterVerdict::kDropAcl:
+        ++stats_.dropped_acl;
+        m_acl_dropped_->inc();
+        return;
+      case FilterVerdict::kDropRateLimit:
+        ++stats_.dropped_ratelimit;
+        m_ratelimit_dropped_->inc();
+        return;
+    }
+  }
+
   if (pkt.dst == addr_) {
     ++stats_.received_packets;
     run_taps(pkt, TapDirection::kReceived);

@@ -19,6 +19,7 @@
 #include "net/simulator.hpp"
 
 namespace ddoshield::obs {
+class Counter;
 class FlightRecorder;
 class LogLinearHistogram;
 }
@@ -32,6 +33,24 @@ enum class TapDirection { kSent, kReceived, kForwarded };
 
 using TapFn = std::function<void(const Packet&, TapDirection)>;
 
+/// What an ingress filter decided about an arriving packet. The drop
+/// variants are charged to distinct node stats and obs counters so packet
+/// conservation stays checkable with enforcement enabled.
+enum class FilterVerdict : std::uint8_t {
+  kAccept = 0,
+  kDropAcl,        // matched an installed blocklist rule
+  kDropRateLimit,  // exceeded the source's token bucket
+};
+
+/// Enforcement hook consulted before any local delivery or forwarding —
+/// the simulated analogue of an edge router's ACL/policer stage. Installed
+/// by the mitigation subsystem; a node without a filter pays one branch.
+class IngressFilter {
+ public:
+  virtual ~IngressFilter() = default;
+  virtual FilterVerdict on_packet(const Packet& pkt) = 0;
+};
+
 struct NodeStats {
   std::uint64_t sent_packets = 0;
   std::uint64_t received_packets = 0;
@@ -39,6 +58,8 @@ struct NodeStats {
   std::uint64_t dropped_no_route = 0;
   std::uint64_t dropped_ttl = 0;
   std::uint64_t dropped_link = 0;
+  std::uint64_t dropped_acl = 0;        // ingress filter: blocklist rule
+  std::uint64_t dropped_ratelimit = 0;  // ingress filter: token bucket
 };
 
 class Node {
@@ -93,6 +114,12 @@ class Node {
   /// Ephemeral source-port allocator (1024-65535, wraps around).
   std::uint16_t allocate_ephemeral_port();
 
+  // --- enforcement -----------------------------------------------------------
+  /// Installs (or, with nullptr, removes) the ingress filter consulted at
+  /// the top of deliver(). The filter must outlive its installation.
+  void set_ingress_filter(IngressFilter* filter) { ingress_filter_ = filter; }
+  IngressFilter* ingress_filter() const { return ingress_filter_; }
+
   // --- observation ----------------------------------------------------------
   void add_tap(TapFn tap) { taps_.push_back(std::move(tap)); }
   const NodeStats& stats() const { return stats_; }
@@ -130,8 +157,11 @@ class Node {
   std::uint32_t port_rng_state_ = 0x6b8b4567;
   std::vector<TapFn> taps_;
   NodeStats stats_;
+  IngressFilter* ingress_filter_ = nullptr;
   std::unique_ptr<UdpHost> udp_;
   std::unique_ptr<TcpHost> tcp_;
+  obs::Counter* m_acl_dropped_;
+  obs::Counter* m_ratelimit_dropped_;
 
   // Flight-recorder wiring for the local-delivery stage (send-to-deliver
   // lag of uid-sampled packets terminating at this node).

@@ -87,6 +87,20 @@ void TcpConnection::start_accept(std::uint32_t peer_iss) {
   arm_retransmit_timer(cfg_.syn_rto);
 }
 
+void TcpConnection::start_cookie_accept(std::uint32_t peer_iss, std::uint32_t cookie_iss) {
+  // The handshake already happened statelessly: our SYN-ACK carried the
+  // cookie as ISS and the peer's ACK proved it arrived. Adopt the cookie
+  // as this side's sequence origin and go straight to ESTABLISHED.
+  irs_ = peer_iss;
+  rcv_nxt_ = peer_iss + 1;
+  iss_ = cookie_iss;
+  snd_una_ = cookie_iss + 1;
+  snd_nxt_ = cookie_iss + 1;
+  state_ = TcpState::kEstablished;
+  established_at_ = sim_.now();
+  host_.m_handshakes_->inc();
+}
+
 void TcpConnection::send(std::uint32_t bytes, std::string app_data) {
   if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) {
     throw std::logic_error("TcpConnection::send: not writable in state " +
@@ -478,7 +492,98 @@ TcpHost::TcpHost(Node& node, TcpConfig cfg) : node_{node}, cfg_{cfg} {
   m_handshakes_ = &reg.counter("net.tcp.handshakes");
   m_retransmits_ = &reg.counter("net.tcp.retransmits");
   m_rst_sent_ = &reg.counter("net.tcp.rst_sent");
+  m_syn_cookies_sent_ = &reg.counter("net.tcp.syn_cookies_sent");
+  m_syn_cookies_accepted_ = &reg.counter("net.tcp.syn_cookies_accepted");
+  m_syn_cookies_rejected_ = &reg.counter("net.tcp.syn_cookies_rejected");
   m_active_connections_ = &reg.gauge("net.tcp.active_connections");
+  // Deterministic per-host secret: a fixed constant mixed with the host
+  // address. Real stacks draw this from the CSPRNG at boot; here same-seed
+  // reproducibility is the point, and within a run the secret is exactly as
+  // unguessable to simulated peers as a random one.
+  cookie_secret_ = 0x9e3779b97f4a7c15ull ^ (std::uint64_t{node.address().bits()} << 17);
+}
+
+void TcpHost::set_syn_cookies(bool on, std::size_t watermark) {
+  cfg_.syn_cookies = on;
+  if (watermark != 0) cfg_.syn_cookie_watermark = watermark;
+}
+
+std::uint32_t TcpHost::syn_cookie_isn(Ipv4Address saddr, Ipv4Address daddr,
+                                      std::uint16_t sport, std::uint16_t dport,
+                                      std::uint32_t client_iss) const {
+  // SplitMix64-style avalanche over the 4-tuple + client ISN + secret —
+  // the same shape as secure_tcp_seq()'s siphash over (saddr, daddr,
+  // sport, dport, secret), collapsed to one mixer because simulated peers
+  // cannot mount key-recovery attacks.
+  std::uint64_t h = cookie_secret_;
+  h ^= (std::uint64_t{saddr.bits()} << 32) | daddr.bits();
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h ^= (std::uint64_t{sport} << 48) | (std::uint64_t{dport} << 32) | client_iss;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return static_cast<std::uint32_t>(h);
+}
+
+void TcpHost::send_syn_cookie(const Packet& pkt, const TcpListener& listener) {
+  ++syn_cookies_sent_;
+  m_syn_cookies_sent_->inc();
+  Packet synack;
+  synack.src = node_.address();
+  synack.src_port = pkt.dst_port;
+  synack.dst = pkt.src;
+  synack.dst_port = pkt.src_port;
+  synack.proto = IpProto::kTcp;
+  synack.tcp_flags = TcpFlags::kSyn | TcpFlags::kAck;
+  synack.seq = syn_cookie_isn(pkt.src, pkt.dst, pkt.src_port, pkt.dst_port, pkt.seq);
+  synack.ack = pkt.seq + 1;
+  // Same flow-based ground truth as embryo SYN-ACKs: inherit the
+  // initiator's origin so cookie replies to flood SYNs stay part of the
+  // attack footprint.
+  synack.origin =
+      pkt.origin == TrafficOrigin::kInfrastructure ? listener.origin_ : pkt.origin;
+  synack.stack_tcp = true;
+  node_.send(std::move(synack));
+}
+
+bool TcpHost::try_cookie_complete(const Packet& pkt) {
+  if (!cfg_.syn_cookies) return false;
+  if (!pkt.has_flag(TcpFlags::kAck) || pkt.has_flag(TcpFlags::kSyn) ||
+      pkt.has_flag(TcpFlags::kRst)) {
+    return false;
+  }
+  auto lit = listeners_.find(pkt.dst_port);
+  if (lit == listeners_.end()) return false;
+  auto listener = lit->second.lock();
+  if (!listener || !listener->open_) return false;
+
+  // The completing ACK acknowledges cookie+1 and its seq is client_iss+1.
+  // This also validates the first data segment if the bare ACK was lost —
+  // the same recovery real SYN-cookie stacks rely on.
+  const std::uint32_t client_iss = pkt.seq - 1;
+  const std::uint32_t expected =
+      syn_cookie_isn(pkt.src, pkt.dst, pkt.src_port, pkt.dst_port, client_iss);
+  if (pkt.ack - 1 != expected) {
+    ++syn_cookies_rejected_;
+    m_syn_cookies_rejected_->inc();
+    return false;  // caller falls through to the RST path
+  }
+
+  ++syn_cookies_accepted_;
+  m_syn_cookies_accepted_->inc();
+  Endpoint local{node_.address(), pkt.dst_port};
+  Endpoint remote{pkt.src, pkt.src_port};
+  const TrafficOrigin conn_origin =
+      pkt.origin == TrafficOrigin::kInfrastructure ? listener->origin_ : pkt.origin;
+  auto conn =
+      std::shared_ptr<TcpConnection>(new TcpConnection{*this, local, remote, conn_origin});
+  register_connection(conn);
+  conn->start_cookie_accept(client_iss, expected);
+  ++listener->accepted_;
+  if (listener->on_accept_) listener->on_accept_(conn);
+  // The validated ACK may already carry data or a FIN; run it through the
+  // established state machine.
+  conn->on_segment(pkt);
+  return true;
 }
 
 std::uint32_t TcpHost::random_iss() {
@@ -568,6 +673,18 @@ void TcpHost::deliver(const Packet& pkt) {
     if (auto lit = listeners_.find(pkt.dst_port); lit != listeners_.end()) {
       auto listener = lit->second.lock();
       if (listener && listener->open_) {
+        if (cfg_.syn_cookies) {
+          // Above the watermark the listener stops investing state in
+          // unproven peers: answer statelessly and keep the remaining
+          // backlog for the pre-flood embryos already in flight.
+          const std::size_t watermark = cfg_.syn_cookie_watermark != 0
+                                            ? cfg_.syn_cookie_watermark
+                                            : listener->backlog_ / 2;
+          if (listener->half_open_count_ >= watermark) {
+            send_syn_cookie(pkt, *listener);
+            return;
+          }
+        }
         if (listener->half_open_count_ >= listener->backlog_) {
           ++listener->backlog_drops_;  // backlog exhausted: silently drop
           return;
@@ -593,6 +710,9 @@ void TcpHost::deliver(const Packet& pkt) {
       listeners_.erase(lit);
     }
   }
+
+  // A stray ACK may be the completion of a stateless cookie handshake.
+  if (try_cookie_complete(pkt)) return;
 
   // No matching state: answer with RST unless the stray segment is itself
   // a RST (never RST a RST).

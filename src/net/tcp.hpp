@@ -77,6 +77,15 @@ struct TcpConfig {
   int max_synack_retries = 3;
   int max_data_retries = 6;
   util::SimTime time_wait = util::SimTime::seconds(1);
+  /// SYN-cookie defense (off by default; behavior is bit-identical to the
+  /// pre-cookie stack until enabled). When any listener's half-open count
+  /// reaches the watermark, further SYNs are answered statelessly: the
+  /// SYN-ACK's ISN is a keyed hash of the 4-tuple and the client ISN, no
+  /// embryo is created, and the completing ACK is validated by recomputing
+  /// the hash — so a SYN flood stops consuming backlog slots.
+  bool syn_cookies = false;
+  /// Half-open threshold that activates cookies; 0 means backlog / 2.
+  std::size_t syn_cookie_watermark = 0;
 };
 
 class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
@@ -129,6 +138,10 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   void start_connect();
   // Server-side embryo created by a listener upon SYN; sends SYN-ACK.
   void start_accept(std::uint32_t peer_iss);
+  // Server side reconstructed from a validated SYN-cookie ACK: no embryo
+  // ever existed, so the connection starts directly ESTABLISHED with the
+  // cookie as its ISS.
+  void start_cookie_accept(std::uint32_t peer_iss, std::uint32_t cookie_iss);
 
   void on_segment(const Packet& pkt);
   void send_segment(std::uint8_t flags, std::uint32_t seq, std::uint32_t len,
@@ -238,7 +251,22 @@ class TcpHost {
   Node& node() { return node_; }
   const TcpConfig& config() const { return cfg_; }
 
+  /// Flips the SYN-cookie defense at runtime (the mitigation controller's
+  /// enforcement point). watermark == 0 keeps the configured/default one.
+  void set_syn_cookies(bool on, std::size_t watermark = 0);
+  bool syn_cookies_enabled() const { return cfg_.syn_cookies; }
+
+  /// Keyed-hash ISN for a stateless SYN-ACK, in the spirit of Linux
+  /// secure_seq.h: a deterministic mix of the 4-tuple, the client's ISN,
+  /// and a per-host secret, so only a peer that really received our
+  /// SYN-ACK can produce the completing ACK.
+  std::uint32_t syn_cookie_isn(Ipv4Address saddr, Ipv4Address daddr, std::uint16_t sport,
+                               std::uint16_t dport, std::uint32_t client_iss) const;
+
   std::uint64_t rst_sent() const { return rst_sent_; }
+  std::uint64_t syn_cookies_sent() const { return syn_cookies_sent_; }
+  std::uint64_t syn_cookies_accepted() const { return syn_cookies_accepted_; }
+  std::uint64_t syn_cookies_rejected() const { return syn_cookies_rejected_; }
   std::size_t active_connections() const { return connections_.size(); }
 
  private:
@@ -257,17 +285,31 @@ class TcpHost {
   void send_rst_for(const Packet& pkt);
   std::uint32_t random_iss();
 
+  /// Answers a SYN with a stateless cookie SYN-ACK (no embryo).
+  void send_syn_cookie(const Packet& pkt, const TcpListener& listener);
+  /// Tries to complete a cookie handshake from a stray ACK; returns true
+  /// if the segment was consumed (connection created or cookie rejected
+  /// into the RST path by the caller).
+  bool try_cookie_complete(const Packet& pkt);
+
   Node& node_;
   TcpConfig cfg_;
   std::map<ConnKey, std::shared_ptr<TcpConnection>> connections_;
   std::map<std::uint16_t, std::weak_ptr<TcpListener>> listeners_;
   std::uint64_t rst_sent_ = 0;
+  std::uint64_t syn_cookies_sent_ = 0;
+  std::uint64_t syn_cookies_accepted_ = 0;
+  std::uint64_t syn_cookies_rejected_ = 0;
   std::uint32_t iss_state_ = 0x12345678;
+  std::uint64_t cookie_secret_ = 0;  // per-host, fixed at construction
 
   // Aggregate registry instruments (shared across hosts), resolved once.
   obs::Counter* m_handshakes_;
   obs::Counter* m_retransmits_;
   obs::Counter* m_rst_sent_;
+  obs::Counter* m_syn_cookies_sent_;
+  obs::Counter* m_syn_cookies_accepted_;
+  obs::Counter* m_syn_cookies_rejected_;
   obs::Gauge* m_active_connections_;
 };
 

@@ -18,6 +18,9 @@ std::uint64_t LogLinearHistogram::bucket_width(std::size_t i) {
 
 double LogLinearHistogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
+  // One sample is every quantile exactly; skip the interpolation (see
+  // Histogram::quantile — same single-out-of-range-sample clamp).
+  if (count_ == 1) return static_cast<double>(min());
   if (q <= 0.0) return static_cast<double>(min());
   if (q >= 1.0) return static_cast<double>(max_);
 

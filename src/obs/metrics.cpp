@@ -6,6 +6,10 @@ namespace ddoshield::obs {
 
 double Histogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
+  // A single sample IS every quantile. The interpolation below would put
+  // p50/p90 partway through the sample's bucket — for an out-of-range
+  // sample (e.g. 2^63) that's far from the only value ever observed.
+  if (count_ == 1) return static_cast<double>(min());
   if (q <= 0.0) return static_cast<double>(min());
   if (q >= 1.0) return static_cast<double>(max_);
 

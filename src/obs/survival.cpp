@@ -1,0 +1,57 @@
+#include "obs/survival.hpp"
+
+#include <cstdio>
+
+namespace ddoshield::obs {
+
+SurvivalMeter& SurvivalMeter::global() {
+  static SurvivalMeter meter;
+  return meter;
+}
+
+void SurvivalMeter::reset() {
+  connects_attempted_ = 0;
+  connects_succeeded_ = 0;
+  connects_failed_ = 0;
+  requests_completed_ = 0;
+  requests_failed_ = 0;
+  benign_bytes_ = 0;
+  latency_ns_.reset();
+}
+
+SurvivalReport SurvivalMeter::report() const {
+  SurvivalReport r;
+  r.connects_attempted = connects_attempted_;
+  r.connects_succeeded = connects_succeeded_;
+  r.connects_failed = connects_failed_;
+  r.requests_completed = requests_completed_;
+  r.requests_failed = requests_failed_;
+  r.benign_bytes = benign_bytes_;
+  r.latency_samples = latency_ns_.count();
+  r.latency_mean_ns = latency_ns_.mean();
+  r.latency_p50_ns = latency_ns_.p50();
+  r.latency_p99_ns = latency_ns_.p99();
+  return r;
+}
+
+std::string SurvivalReport::summary() const {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "benign connects:  %llu/%llu succeeded (%.1f%%), %llu timed out\n"
+                "benign requests:  %llu completed, %llu failed (%.1f%% success)\n"
+                "benign goodput:   %llu bytes\n"
+                "benign latency:   p50 %.3f ms  p99 %.3f ms  mean %.3f ms (%llu samples)",
+                static_cast<unsigned long long>(connects_succeeded),
+                static_cast<unsigned long long>(connects_attempted),
+                100.0 * connect_success_rate(),
+                static_cast<unsigned long long>(connects_failed),
+                static_cast<unsigned long long>(requests_completed),
+                static_cast<unsigned long long>(requests_failed),
+                100.0 * request_success_rate(),
+                static_cast<unsigned long long>(benign_bytes), latency_p50_ns / 1e6,
+                latency_p99_ns / 1e6, latency_mean_ns / 1e6,
+                static_cast<unsigned long long>(latency_samples));
+  return buf;
+}
+
+}  // namespace ddoshield::obs

@@ -161,6 +161,7 @@ FuzzResult Fuzzer::run(std::uint64_t seed) {
     ids::IdsConfig cfg;
     cfg.window = options_.ids_window;
     ids = &bed.deploy_ids(*options_.ids_model, cfg);
+    if (options_.enable_mitigation) bed.enable_mitigation();
   }
 
   bed.run();
@@ -180,6 +181,21 @@ FuzzResult Fuzzer::run(std::uint64_t seed) {
                         " single=" + std::to_string(w.single_class ? 1 : 0));
     }
     result.ids_windows = ids->reports().size();
+  }
+
+  if (bed.mitigation() != nullptr) {
+    // Action lines are integer-only, so they replay byte for byte; the
+    // summary also pins the enforcement drop counters and cookie count.
+    for (const auto& line : bed.mitigation()->action_log().lines()) {
+      result.log.append(line);
+    }
+    result.mitigation_actions = bed.mitigation()->action_log().size();
+    const net::NodeStats& router = bed.topology().router->stats();
+    result.log.append(
+        "mitigation actions=" + std::to_string(result.mitigation_actions) +
+        " acl_dropped=" + std::to_string(router.dropped_acl) +
+        " ratelimit_dropped=" + std::to_string(router.dropped_ratelimit) +
+        " cookies_sent=" + std::to_string(bed.topology().tserver->tcp().syn_cookies_sent()));
   }
 
   if (checker) {

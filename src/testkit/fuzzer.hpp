@@ -25,6 +25,10 @@ struct FuzzOptions {
   /// window reports are appended to the event log.
   const ml::Classifier* ids_model = nullptr;
   util::SimTime ids_window = util::SimTime::millis(500);
+  /// Close the detect→defend loop: Testbed::enable_mitigation after the
+  /// IDS deploys (requires ids_model). Every mitigation action is appended
+  /// to the event log, so same-seed replay covers enforcement too.
+  bool enable_mitigation = false;
   /// Generate and apply a fault plan (flaps, degradation, crashes).
   bool enable_faults = true;
   /// Watch the whole network with an InvariantChecker.
@@ -45,6 +49,7 @@ struct FuzzResult {
   std::uint64_t faults_scheduled = 0;
   std::uint64_t faults_fired = 0;
   std::uint64_t ids_windows = 0;
+  std::uint64_t mitigation_actions = 0;
   std::uint64_t events_executed = 0;
   util::SimTime end_time;
 

@@ -51,6 +51,11 @@ void InvariantChecker::violation(std::string msg) {
 }
 
 void InvariantChecker::watch_node(net::Node& node) {
+  WatchedNode w;
+  w.node = &node;
+  w.acl_baseline = node.stats().dropped_acl;
+  w.ratelimit_baseline = node.stats().dropped_ratelimit;
+  nodes_.push_back(w);
   node.add_tap([this](const net::Packet& pkt, net::TapDirection dir) {
     if (dir != net::TapDirection::kSent) return;
     if (pkt.proto != net::IpProto::kTcp || !pkt.stack_tcp || pkt.corrupted) return;
@@ -82,6 +87,8 @@ void InvariantChecker::watch_network(net::Network& net) {
   auto& reg = obs::MetricsRegistry::global();
   obs_tx_baseline_ = reg.counter("net.link.tx_packets").value();
   obs_dropped_baseline_ = reg.counter("net.link.dropped_packets").value();
+  obs_acl_baseline_ = reg.counter("net.acl_dropped").value();
+  obs_ratelimit_baseline_ = reg.counter("net.ratelimit_dropped").value();
   crosscheck_obs_ = true;
 }
 
@@ -266,6 +273,13 @@ InvariantReport InvariantChecker::finalize() {
     }
   }
 
+  std::uint64_t acl_delta_sum = 0;
+  std::uint64_t ratelimit_delta_sum = 0;
+  for (const auto& w : nodes_) {
+    acl_delta_sum += w.node->stats().dropped_acl - w.acl_baseline;
+    ratelimit_delta_sum += w.node->stats().dropped_ratelimit - w.ratelimit_baseline;
+  }
+
   if (crosscheck_obs_) {
     auto& reg = obs::MetricsRegistry::global();
     const std::uint64_t obs_tx = reg.counter("net.link.tx_packets").value() - obs_tx_baseline_;
@@ -278,6 +292,17 @@ InvariantReport InvariantChecker::finalize() {
     if (obs_dropped != dropped_delta_sum) {
       violation("obs: net.link.dropped_packets delta " + std::to_string(obs_dropped) +
                 " != per-link sum " + std::to_string(dropped_delta_sum));
+    }
+    const std::uint64_t obs_acl = reg.counter("net.acl_dropped").value() - obs_acl_baseline_;
+    const std::uint64_t obs_ratelimit =
+        reg.counter("net.ratelimit_dropped").value() - obs_ratelimit_baseline_;
+    if (obs_acl != acl_delta_sum) {
+      violation("obs: net.acl_dropped delta " + std::to_string(obs_acl) +
+                " != per-node sum " + std::to_string(acl_delta_sum));
+    }
+    if (obs_ratelimit != ratelimit_delta_sum) {
+      violation("obs: net.ratelimit_dropped delta " + std::to_string(obs_ratelimit) +
+                " != per-node sum " + std::to_string(ratelimit_delta_sum));
     }
   }
 

@@ -18,6 +18,11 @@
 //     every watched direction once the queue drains (<= while events are
 //     still pending), and dropped/tx tallies match the deltas charged to
 //     the global obs counters over the watch window.
+//   * Mitigation drop accounting: per-node ingress-filter drops (ACL and
+//     rate-limit) summed over watched nodes match the deltas charged to
+//     the global net.acl_dropped / net.ratelimit_dropped counters. These
+//     drops happen after link delivery, so link conservation is unaffected
+//     whether or not mitigation is enabled.
 //   * Metrics self-consistency: histogram count == sum of buckets,
 //     min <= mean <= max, ordered quantiles, gauge high-water >= value,
 //     and a byte-idempotent "ddoshield-metrics-v2" snapshot.
@@ -112,12 +117,19 @@ class InvariantChecker {
     net::LinkDirectionStats baseline;
   };
 
+  struct WatchedNode {
+    const net::Node* node;
+    std::uint64_t acl_baseline = 0;
+    std::uint64_t ratelimit_baseline = 0;
+  };
+
   void on_sent_segment(const net::Packet& pkt);
   void violation(std::string msg);
 
   net::Simulator& sim_;
   std::map<FlowKey, FlowDirState> flows_;
   std::vector<WatchedDirection> directions_;
+  std::vector<WatchedNode> nodes_;
   bool finalized_ = false;
 
   // Global obs counter values when watch_network() ran; 0-delta when no
@@ -125,6 +137,8 @@ class InvariantChecker {
   bool crosscheck_obs_ = false;
   std::uint64_t obs_tx_baseline_ = 0;
   std::uint64_t obs_dropped_baseline_ = 0;
+  std::uint64_t obs_acl_baseline_ = 0;
+  std::uint64_t obs_ratelimit_baseline_ = 0;
 
   InvariantReport report_;
 };

@@ -268,6 +268,156 @@ TEST_F(TcpFixture, ListenerBacklogExhaustionDropsNewSyns) {
   EXPECT_EQ(listener->accepted(), 0u);
 }
 
+TEST_F(TcpFixture, SynCookiesKeepServiceAvailableUnderBacklogExhaustion) {
+  server->tcp().set_syn_cookies(true);  // watermark defaults to backlog/2
+  auto listener = server->tcp().listen(80, /*backlog=*/4);
+  std::shared_ptr<TcpConnection> accepted;
+  listener->set_on_accept([&](std::shared_ptr<TcpConnection> c) {
+    accepted = std::move(c);
+    accepted->set_on_data([&](std::uint32_t, const std::string& msg) {
+      if (msg == "ping") accepted->send(16, "pong");
+    });
+  });
+
+  // The same spoofed flood that exhausts the backlog in the test above.
+  for (int i = 0; i < 20; ++i) {
+    Packet syn;
+    syn.src = Ipv4Address{172, 16, 0, static_cast<std::uint8_t>(i + 1)};
+    syn.dst = server->address();
+    syn.src_port = static_cast<std::uint16_t>(10000 + i);
+    syn.dst_port = 80;
+    syn.proto = IpProto::kTcp;
+    syn.tcp_flags = TcpFlags::kSyn;
+    syn.seq = 1000 + static_cast<std::uint32_t>(i);
+    syn.origin = TrafficOrigin::kMiraiSynFlood;
+    client->send(std::move(syn));
+  }
+  net.simulator().run_until(SimTime::millis(100));
+
+  // Above the watermark the server answers statelessly: the embryo store
+  // is pinned at the watermark instead of filling, and nothing is dropped.
+  EXPECT_EQ(listener->half_open(), 2u);
+  EXPECT_EQ(listener->backlog_drops(), 0u);
+  EXPECT_EQ(server->tcp().syn_cookies_sent(), 18u);
+
+  // A legitimate client still gets in — its ACK validates the cookie and
+  // the connection is created directly ESTABLISHED, data flowing both ways.
+  bool connected = false;
+  std::string reply;
+  auto conn = client->tcp().connect(server_ep(80), TrafficOrigin::kHttp);
+  conn->set_on_connected([&] {
+    connected = true;
+    conn->send(16, "ping");
+  });
+  conn->set_on_data([&](std::uint32_t, const std::string& msg) { reply = msg; });
+  net.simulator().run_until(SimTime::millis(300));
+
+  EXPECT_TRUE(connected);
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(accepted->state(), TcpState::kEstablished);
+  EXPECT_EQ(reply, "pong");
+  EXPECT_GE(server->tcp().syn_cookies_accepted(), 1u);
+}
+
+TEST_F(TcpFixture, SynCookieIsnIsDeterministicPerTuple) {
+  server->tcp().set_syn_cookies(true);
+  const Ipv4Address c{10, 0, 0, 1};
+  const Ipv4Address s{10, 0, 0, 2};
+  const std::uint32_t a = server->tcp().syn_cookie_isn(c, s, 5555, 80, 1234);
+  EXPECT_EQ(a, server->tcp().syn_cookie_isn(c, s, 5555, 80, 1234));
+  // Any field change re-keys the cookie.
+  EXPECT_NE(a, server->tcp().syn_cookie_isn(c, s, 5556, 80, 1234));
+  EXPECT_NE(a, server->tcp().syn_cookie_isn(c, s, 5555, 80, 1235));
+  // And another host derives a different secret from its address.
+  EXPECT_NE(a, client->tcp().syn_cookie_isn(c, s, 5555, 80, 1234));
+}
+
+TEST_F(TcpFixture, RetransmittedSynGetsIdenticalCookie) {
+  server->tcp().set_syn_cookies(true);
+  auto listener = server->tcp().listen(80, /*backlog=*/2);
+  listener->set_on_accept([](std::shared_ptr<TcpConnection>) {});
+
+  // Saturate to the watermark (backlog/2 = 1) so cookies activate.
+  auto forge_syn = [&](std::uint8_t host, std::uint16_t port) {
+    Packet syn;
+    syn.src = Ipv4Address{172, 16, 0, host};
+    syn.dst = server->address();
+    syn.src_port = port;
+    syn.dst_port = 80;
+    syn.proto = IpProto::kTcp;
+    syn.tcp_flags = TcpFlags::kSyn;
+    syn.seq = 42;
+    syn.origin = TrafficOrigin::kMiraiSynFlood;
+    client->send(std::move(syn));
+  };
+  forge_syn(1, 10000);
+
+  std::vector<std::uint32_t> cookie_seqs;
+  server->add_tap([&](const Packet& p, TapDirection d) {
+    if (d == TapDirection::kSent && p.has_flag(TcpFlags::kSyn) &&
+        p.has_flag(TcpFlags::kAck) && p.dst == Ipv4Address{172, 16, 0, 2}) {
+      cookie_seqs.push_back(p.seq);
+    }
+  });
+  forge_syn(2, 20000);  // gets a cookie SYN-ACK
+  net.simulator().run_until(SimTime::millis(50));
+  forge_syn(2, 20000);  // "retransmitted" SYN: identical cookie
+  net.simulator().run_until(SimTime::millis(100));
+
+  ASSERT_EQ(cookie_seqs.size(), 2u);
+  EXPECT_EQ(cookie_seqs[0], cookie_seqs[1]);
+  EXPECT_EQ(cookie_seqs[0], server->tcp().syn_cookie_isn(Ipv4Address{172, 16, 0, 2},
+                                                         server->address(), 20000, 80, 42));
+}
+
+TEST_F(TcpFixture, AckWithBadCookieIsRejectedWithRst) {
+  server->tcp().set_syn_cookies(true);
+  auto listener = server->tcp().listen(80, /*backlog=*/4);
+  listener->set_on_accept([](std::shared_ptr<TcpConnection>) {});
+
+  // A forged ACK that never saw a cookie: validation fails, stray-ACK RST.
+  Packet ack;
+  ack.src = Ipv4Address{172, 16, 0, 9};
+  ack.dst = server->address();
+  ack.src_port = 3333;
+  ack.dst_port = 80;
+  ack.proto = IpProto::kTcp;
+  ack.tcp_flags = TcpFlags::kAck;
+  ack.seq = 77;
+  ack.ack = 88;
+  ack.origin = TrafficOrigin::kMiraiAckFlood;
+  client->send(std::move(ack));
+  net.simulator().run_until(SimTime::millis(100));
+
+  EXPECT_EQ(server->tcp().syn_cookies_rejected(), 1u);
+  EXPECT_EQ(server->tcp().syn_cookies_accepted(), 0u);
+  EXPECT_EQ(server->tcp().rst_sent(), 1u);
+  EXPECT_EQ(listener->accepted(), 0u);
+}
+
+TEST_F(TcpFixture, SynCookiesOffIsByteForByteTheOldBehavior) {
+  // The switch is off by default; the config stays inert unless enabled.
+  EXPECT_FALSE(server->tcp().syn_cookies_enabled());
+  auto listener = server->tcp().listen(80, /*backlog=*/4);
+  listener->set_on_accept([](std::shared_ptr<TcpConnection>) {});
+  for (int i = 0; i < 20; ++i) {
+    Packet syn;
+    syn.src = Ipv4Address{172, 16, 0, static_cast<std::uint8_t>(i + 1)};
+    syn.dst = server->address();
+    syn.src_port = static_cast<std::uint16_t>(10000 + i);
+    syn.dst_port = 80;
+    syn.proto = IpProto::kTcp;
+    syn.tcp_flags = TcpFlags::kSyn;
+    syn.seq = 1000 + static_cast<std::uint32_t>(i);
+    syn.origin = TrafficOrigin::kMiraiSynFlood;
+    client->send(std::move(syn));
+  }
+  net.simulator().run_until(SimTime::millis(100));
+  EXPECT_EQ(listener->half_open(), 4u);
+  EXPECT_EQ(listener->backlog_drops(), 16u);
+  EXPECT_EQ(server->tcp().syn_cookies_sent(), 0u);
+}
+
 TEST_F(TcpFixture, StrayAckDrawsRst) {
   Packet ack;
   ack.src = Ipv4Address{172, 16, 0, 9};

@@ -178,6 +178,33 @@ TEST(HistogramTest, TopBucketQuantileInterpolatesInsteadOfDegenerating) {
   EXPECT_LE(h.p99(), h.p999());
 }
 
+TEST(HistogramTest, SingleSampleIsEveryQuantile) {
+  // Regression: with exactly one observation, interpolation used to put
+  // p50/p90 partway through the sample's bucket — for a single top-bucket
+  // sample (2^63) that reported quantiles ~2^62 away from the only value
+  // ever observed. One sample IS the whole distribution.
+  for (const std::uint64_t v : std::initializer_list<std::uint64_t>{
+           0, 1, 1000, 1ull << 63, std::numeric_limits<std::uint64_t>::max()}) {
+    Histogram h;
+    h.observe(v);
+    const double expected = static_cast<double>(v);
+    EXPECT_DOUBLE_EQ(h.p50(), expected) << "sample " << v;
+    EXPECT_DOUBLE_EQ(h.p90(), expected) << "sample " << v;
+    EXPECT_DOUBLE_EQ(h.p99(), expected) << "sample " << v;
+    EXPECT_DOUBLE_EQ(h.p999(), expected) << "sample " << v;
+  }
+  // Same contract for the log-linear latency histogram.
+  for (const std::uint64_t v : std::initializer_list<std::uint64_t>{
+           0, 1, 999'999, 1ull << 63, std::numeric_limits<std::uint64_t>::max()}) {
+    LogLinearHistogram h;
+    h.observe(v);
+    const double expected = static_cast<double>(v);
+    EXPECT_DOUBLE_EQ(h.p50(), expected) << "sample " << v;
+    EXPECT_DOUBLE_EQ(h.p99(), expected) << "sample " << v;
+    EXPECT_DOUBLE_EQ(h.p999(), expected) << "sample " << v;
+  }
+}
+
 TEST(HistogramTest, QuantileAtPowerOfTwoBoundaryStaysInBucketRange) {
   // All mass exactly on a bucket's lower edge: interpolation must not
   // escape [min, max] on either side of the boundary.

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdlib>
 
 #include "features/schema.hpp"
 #include "ml/random_forest.hpp"
@@ -46,6 +47,12 @@ const ml::Classifier& tiny_model() {
 FuzzOptions smoke_options() {
   FuzzOptions opts;
   opts.ids_model = &tiny_model();
+  // CI's mitigation fuzz configuration runs the same seeds with the closed
+  // detect→defend loop active, so enforcement churn (rule install/expiry,
+  // SYN cookies, quarantine) is fuzzed under the same invariants. An empty
+  // value counts as unset so a matrix-driven env var can expand to ''.
+  const char* mitigate_env = std::getenv("DDOSHIELD_FUZZ_MITIGATE");
+  opts.enable_mitigation = mitigate_env != nullptr && mitigate_env[0] != '\0';
   return opts;
 }
 
@@ -100,6 +107,28 @@ TEST_P(FuzzRegressionSeeds, OnceFailingSeedStaysGreen) {
 
 INSTANTIATE_TEST_SUITE_P(SurfacedBugs, FuzzRegressionSeeds,
                          ::testing::Values(1ull, 18ull, 22ull, 24ull));
+
+// Always-on (env-independent) coverage of the mitigation path: the same
+// invariants hold with enforcement active, and the event log — now also
+// carrying mitigation action lines — still replays byte for byte.
+class FuzzMitigation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzMitigation, InvariantsHoldAndReplayIsByteIdentical) {
+  FuzzOptions opts;
+  opts.ids_model = &tiny_model();
+  opts.enable_mitigation = true;
+  Fuzzer fuzzer{opts};
+
+  const FuzzResult first = fuzzer.run(GetParam());
+  EXPECT_TRUE(first.ok()) << first.invariants.summary();
+  EXPECT_GT(first.ids_windows, 0u);
+
+  const FuzzResult second = fuzzer.run(GetParam());
+  ASSERT_EQ(first.log.joined(), second.log.joined()) << "seed " << GetParam();
+  EXPECT_EQ(first.mitigation_actions, second.mitigation_actions);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClosedLoop, FuzzMitigation, ::testing::Values(7ull, 13ull));
 
 TEST(FuzzReplay, DifferentSeedsDiverge) {
   Fuzzer fuzzer{smoke_options()};
